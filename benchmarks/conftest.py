@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+regenerated rows are written to ``benchmarks/out/<name>.txt`` (and
+echoed to stdout) so the paper-versus-measured comparison in
+EXPERIMENTS.md can be refreshed from the artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def record():
+    """Write a regenerated table/figure to the benchmark output dir."""
+
+    def _record(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function exactly once (no calibration)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Figures 1-3: architecture and software-stack structure.
+
+These figures are block diagrams with no measured data; the benchmark
+verifies the model's topology matches them — the 8x8 PE grid on a
+non-blocking NoC (Figure 1), the PE's processors and six fixed-function
+units (Figure 2), and the PyTorch-first software stack layering
+(Figure 3) — and renders the textual equivalents.
+"""
+
+from repro.arch import (
+    PE_FIXED_FUNCTION_UNITS,
+    PE_PROCESSORS,
+    SOFTWARE_STACK_LAYERS,
+    describe_chip,
+    describe_pe,
+    describe_software_stack,
+    mtia2i_spec,
+)
+
+
+def test_fig123_architecture(benchmark, record):
+    chip = mtia2i_spec()
+    text = benchmark(
+        lambda: "\n\n".join(
+            [describe_chip(chip), describe_pe(chip), describe_software_stack()]
+        )
+    )
+    # Figure 1: 8x8 grid, crossbar-connected SRAM + memory controllers.
+    assert chip.num_pes == 64
+    assert "8x8" in text
+    # Figure 2: two RISC-V cores and six fixed-function units per PE.
+    assert len(PE_PROCESSORS) == 2
+    assert len(PE_FIXED_FUNCTION_UNITS) == 6
+    for unit in PE_FIXED_FUNCTION_UNITS:
+        assert unit in text
+    # Figure 3: PyTorch 2.0 -> Triton -> runtime -> driver -> firmware.
+    assert SOFTWARE_STACK_LAYERS[0].startswith("PyTorch 2.0")
+    assert "Triton" in SOFTWARE_STACK_LAYERS[1]
+    assert "driver" in SOFTWARE_STACK_LAYERS[3].lower()
+    record("fig123_architecture", text)

@@ -1,0 +1,57 @@
+"""Figure 4: the case-study model's Perf/TCO journey (section 6).
+
+Paper: continuous optimization took a key ranking model from ~50% of the
+GPU baseline's Perf/TCO to ~180%, with +2% Perf/Watt, over eight months
+during which the model grew from 140 to 940 MFLOPS/sample.
+
+Measured here: the staged journey (each stage exercising the named
+mechanism).  Shape checks: the initial port is far below parity; kernel
+tuning + fusions is the largest single gain; model evolution resets the
+curve; the rejected change dips; IBB deferral and TBE consolidation
+recover it; the launched configuration beats the GPU on Perf/TCO with
+near-parity Perf/Watt.
+"""
+
+from conftest import once
+
+from repro.core.casestudy import run_case_study
+
+
+def test_fig4_case_study(benchmark, record):
+    stages = once(benchmark, run_case_study)
+    lines = [
+        f"{'month':>5}  {'variant':7}  {'stage':36}  {'Perf/TCO':>8}  {'Perf/Watt':>9}"
+    ]
+    for stage in stages:
+        lines.append(
+            f"{stage.month:>5}  {stage.variant:7}  {stage.label:36}  "
+            f"{stage.perf_per_tco:8.2f}  {stage.perf_per_watt:9.2f}"
+        )
+    by_label = {s.label: s for s in stages}
+    first, last = stages[0], stages[-1]
+
+    # Starts well below parity (paper: ~0.5x).
+    assert first.perf_per_tco < 0.8
+    # Ends clearly above parity (paper: ~1.8x; measured lands lower
+    # because our synthetic HC3 is more weight-streaming-bound — see
+    # EXPERIMENTS.md).
+    assert last.perf_per_tco > 1.3
+    assert last.perf_per_tco > 2.2 * first.perf_per_tco
+    # Final Perf/Watt near parity (paper: +2%).
+    assert 0.9 <= last.perf_per_watt <= 1.35
+
+    # The rejected model change dips below the adopted alternative.
+    evolved = by_label["model evolves to 940 MF/sample"]
+    rejected = by_label["rejected: 3x remote inputs"]
+    assert rejected.perf_per_tco < evolved.perf_per_tco
+
+    # IBB deferral recovers ~17% throughput (paper: 17%).
+    deferred = by_label["deferred In-Batch Broadcast"]
+    ibb_gain = deferred.mtia_throughput / evolved.mtia_throughput - 1
+    assert 0.08 <= ibb_gain <= 0.25
+    lines.append(f"\nIBB deferral throughput gain: {ibb_gain:+.1%} (paper: +17%)")
+    lines.append(
+        f"journey: {first.perf_per_tco:.2f}x -> {last.perf_per_tco:.2f}x "
+        "(paper: ~0.5x -> ~1.8x)"
+    )
+    record("fig4_case_study", "\n".join(lines))

@@ -1,0 +1,64 @@
+"""Section 4.1: autotuning — ANN kernel lookup and request coalescing.
+
+Paper: the performance database with approximate-nearest-neighbour
+search 'reduced FC tuning time by up to 1000x while achieving kernel
+performance within 5% of exhaustive FC tuning'; coalescing autotuning
+typically reaches '>95% requests per batch'.
+"""
+
+from conftest import once
+
+from repro.arch import mtia2i_spec
+from repro.autotune import compare_tuners, tune_coalescing
+from repro.serving import ModelJobProfile
+from repro.tensors import GemmShape
+
+
+def _measure():
+    chip = mtia2i_spec()
+    training = [
+        GemmShape(m, k, n)
+        for m in (128, 512, 2048, 8192)
+        for k in (256, 1024, 4096)
+        for n in (128, 512, 2048)
+    ]
+    queries = [
+        GemmShape(700, 1700, 800),
+        GemmShape(3000, 600, 2000),
+        GemmShape(512, 26592, 2048),
+        GemmShape(150, 300, 150),
+        GemmShape(4096, 2048, 1024),
+    ]
+    tuner = compare_tuners(training, queries, chip)
+    coalescing = tune_coalescing(
+        ModelJobProfile(
+            remote_time_s=0.002, merge_time_s=0.004, remote_jobs_per_batch=2,
+            dispatch_overhead_s=0.0005,
+        ),
+        max_batch_samples=1024,
+        windows_s=(0.005, 0.015, 0.030),
+        parallel_windows=(2, 4),
+    )
+    return tuner, coalescing
+
+
+def test_sec41_autotune(benchmark, record):
+    tuner, coalescing = once(benchmark, _measure)
+    best = coalescing.best
+    lines = [
+        f"FC tuning: exhaustive {tuner.exhaustive_evaluations} kernel "
+        f"measurements vs ANN {tuner.ann_evaluations} -> "
+        f"{tuner.evaluation_speedup:.0f}x fewer (paper: up to 1000x)",
+        f"ANN quality gap: mean {tuner.mean_quality_gap:+.2%}, "
+        f"max {tuner.max_quality_gap:+.2%} (paper: within 5%)",
+        f"coalescing winner: window {best.config.window_s * 1e3:.0f} ms x "
+        f"{best.config.max_parallel_windows} parallel -> fill "
+        f"{best.outcome.mean_fill_fraction:.0%} at P99 "
+        f"{best.outcome.p99_latency_s * 1e3:.0f} ms "
+        "(paper: >95% requests per batch)",
+    ]
+    assert tuner.evaluation_speedup >= 500  # 'up to 1000x' order
+    assert tuner.mean_quality_gap <= 0.05
+    assert best.outcome.mean_fill_fraction > 0.6
+    assert best.outcome.meets_slo
+    record("sec41_autotune", "\n".join(lines))

@@ -1,0 +1,30 @@
+"""Section 5.3: reducing provisioned power.
+
+Paper: after six months in production, the rack power budget was reduced
+by nearly 40% versus the initial stress-test-based estimate, using the
+higher of (a) an experiment holding all 24 accelerators at the P90 of
+the largest models' peak production throughput and (b) the P90 power of
+fully-utilized production servers.
+"""
+
+from repro.arch import mtia2i_server
+from repro.reliability import PAPER_REDUCTION_FRACTION, provisioning_study
+
+
+def test_sec53_power_provisioning(benchmark, record):
+    outcome = benchmark(provisioning_study, mtia2i_server())
+    lines = [
+        f"initial stress-test rack budget: {outcome.initial_budget_w:,.0f} W/server",
+        f"prong 1 (P90 experiment):        {outcome.experiment_budget_w:,.0f} W/server",
+        f"prong 2 (P90 fleet telemetry):   {outcome.fleet_budget_w:,.0f} W/server",
+        f"revised budget (max of prongs):  {outcome.revised_budget_w:,.0f} W/server",
+        f"reduction: {outcome.reduction_fraction:.0%} "
+        f"(paper: ~{PAPER_REDUCTION_FRACTION:.0%})",
+    ]
+    assert outcome.revised_budget_w == max(
+        outcome.experiment_budget_w, outcome.fleet_budget_w
+    )
+    assert 0.30 <= outcome.reduction_fraction <= 0.50
+    # The revised budget still covers the server's typical draw.
+    assert outcome.revised_budget_w > mtia2i_server().typical_power_watts * 0.7
+    record("sec53_power_provisioning", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Section 5.6: large-scale A/B testing in live production.
+
+Paper: the same trained model is served on MTIA 2i and GPUs with traffic
+split between them; comparisons cover business metrics, normalized
+entropy, and prediction-value distributions.  The tests confirmed
+comparable model quality.  Measured here: the harness on a synthetic CTR
+model — the MTIA-numerics path (FP16 with LUT-approximated sigmoid)
+passes the parity gate; a deliberately broken backend fails it.
+"""
+
+import numpy as np
+
+from repro.fleet import SyntheticCtrModel, run_ab_test
+from repro.pe import lut_approximation
+
+
+def _measure():
+    model = SyntheticCtrModel(num_features=64, seed=3)
+
+    def mtia_numerics(logits: np.ndarray) -> np.ndarray:
+        # FP16 accumulate + the SIMD Engine's LUT sigmoid, inverted back
+        # to logits so the harness's sigmoid reproduces the LUT output.
+        fp16_logits = logits.astype(np.float16).astype(np.float64)
+        probs = lut_approximation("sigmoid", fp16_logits)
+        probs = np.clip(probs, 1e-9, 1 - 1e-9)
+        return np.log(probs / (1 - probs))
+
+    parity = run_ab_test(
+        model,
+        control=model.exact_backend(),
+        treatment=model.backend_with(mtia_numerics),
+        num_requests=200_000,
+    )
+    broken = run_ab_test(
+        model,
+        control=model.exact_backend(),
+        treatment=model.backend_with(lambda x: 1.5 * x + 0.8),
+        num_requests=200_000,
+    )
+    return parity, broken
+
+
+def test_sec56_ab_testing(benchmark, record):
+    parity, broken = benchmark(_measure)
+    lines = [
+        "MTIA-numerics backend (FP16 + LUT sigmoid) vs FP32 control:",
+        f"  NE delta {parity.ne_delta:+.5f}, KS {parity.prediction_ks:.4f}, "
+        f"revenue proxy x{parity.revenue_proxy_ratio:.4f} -> "
+        f"parity: {parity.quality_parity()}",
+        "systematically-biased backend (negative control):",
+        f"  NE delta {broken.ne_delta:+.5f}, KS {broken.prediction_ks:.4f} -> "
+        f"parity: {broken.quality_parity()}",
+        "(paper: A/B tests confirmed comparable model quality on MTIA 2i)",
+    ]
+    assert parity.quality_parity()
+    assert abs(parity.revenue_proxy_ratio - 1.0) < 0.02
+    assert not broken.quality_parity()
+    assert broken.treatment_ne > broken.control_ne
+    record("sec56_ab_testing", "\n".join(lines))

@@ -1,0 +1,40 @@
+"""Table 1: production model classes — size and complexity.
+
+Paper-reported coordinates:
+
+| Model type      | Model size | Complexity                 |
+|-----------------|-----------:|----------------------------|
+| Retrieval       | 50-100 GB  | 0.001-0.01 GFLOPS/sample   |
+| Early stage     | 100-300 GB | 0.01-0.1 GFLOPS/sample     |
+| Late stage      | 100-300 GB | 0.2-2 GFLOPS/sample        |
+| HSTU retrieval  | 1 TB       | 10 GFLOPS/request          |
+| HSTU ranking    | 2 TB       | 80 GFLOPS/request          |
+
+plus "90% of model size is embeddings".
+"""
+
+from repro.models import table1_models, table1_row
+
+BANDS = {
+    "retrieval": ((50, 110), (0.001, 0.01)),
+    "early_stage": ((100, 300), (0.01, 0.1)),
+    "late_stage": ((100, 300), (0.2, 2.0)),
+    "hstu_retrieval": ((800, 1300), (5, 20)),
+    "hstu_ranking": ((1600, 2600), (40, 120)),
+}
+
+
+def test_table1_model_zoo(benchmark, record):
+    """Regenerate Table 1 from the synthetic zoo."""
+    rows = benchmark(lambda: [table1_row(m) for m in table1_models()])
+    lines = [f"{'model type':16} {'size GB':>9} {'GF/sample':>10} {'emb %':>6}"]
+    for row in rows:
+        lines.append(
+            f"{row.model_type:16} {row.model_size_gb:9.1f} "
+            f"{row.gflops_per_sample:10.3f} {row.embedding_fraction:6.1%}"
+        )
+        size_band, flops_band = BANDS[row.model_type]
+        assert size_band[0] <= row.model_size_gb <= size_band[1], row
+        assert flops_band[0] <= row.gflops_per_sample <= flops_band[1], row
+        assert row.embedding_fraction > 0.9
+    record("table1_model_zoo", "\n".join(lines))

@@ -1,0 +1,65 @@
+"""Capacity planning: how many servers does a service need?
+
+A downstream-user scenario tying the whole library together: given a
+model and a traffic forecast (mean load, diurnal peak), compute how many
+MTIA 2i servers versus GPU servers the service must provision, what the
+fleet costs per year, and what the paper's TCO claim means in dollars.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import math
+
+from repro.arch import gpu_server, mtia2i_server
+from repro.core import evaluate_model
+from repro.models import hc1
+from repro.serving import diurnal_load_curve
+from repro.tco import GPU_COST, MTIA2I_COST, server_tco
+
+
+def main() -> None:
+    model = hc1()
+    print(f"planning capacity for {model.name} ({model.description})")
+
+    evaluation = evaluate_model(model)
+    mtia_chip_tput = evaluation.mtia_chip_throughput
+    gpu_chip_tput = evaluation.gpu_chip_throughput
+    print(f"  per-chip throughput: MTIA 2i {mtia_chip_tput:,.0f} samples/s, "
+          f"GPU {gpu_chip_tput:,.0f} samples/s")
+
+    # Traffic forecast: a mean of 20M samples/s with a 2.2x diurnal peak.
+    mean_load = 20_000_000.0
+    curve = diurnal_load_curve(mean_load, peak_to_mean=2.2, seed=1)
+    peak_load = float(curve.max())
+    print(f"  forecast: mean {mean_load:,.0f} samples/s, "
+          f"diurnal peak {peak_load:,.0f} samples/s")
+
+    mtia_srv, gpu_srv = mtia2i_server(), gpu_server()
+    plans = {}
+    for name, server, chip_tput, costs, shards in (
+        ("MTIA 2i", mtia_srv, mtia_chip_tput, MTIA2I_COST, model.accelerators),
+        ("GPU", gpu_srv, gpu_chip_tput, GPU_COST, 1),
+    ):
+        server_tput = chip_tput * server.accelerators_per_server
+        servers = math.ceil(peak_load / server_tput)
+        tco = server_tco(server, costs)
+        fleet_cost = servers * tco.total_per_year
+        utilization = mean_load / (servers * server_tput)
+        plans[name] = (servers, fleet_cost, utilization)
+        print(f"\n  {name} plan:")
+        print(f"    server throughput:  {server_tput:,.0f} samples/s "
+              f"({server.accelerators_per_server} accelerators)")
+        print(f"    servers for peak:   {servers}")
+        print(f"    mean utilization:   {utilization:.0%}")
+        print(f"    fleet cost:         ${fleet_cost:,.0f}/year "
+              f"(${tco.total_per_year:,.0f}/server)")
+
+    mtia_cost, gpu_cost = plans["MTIA 2i"][1], plans["GPU"][1]
+    print(f"\n  serving this model on MTIA 2i saves "
+          f"${gpu_cost - mtia_cost:,.0f}/year "
+          f"({1 - mtia_cost / gpu_cost:.0%} of the GPU fleet cost; "
+          "the paper's 44% average TCO reduction, in dollars)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Productionization studies end to end (paper section 5).
+
+Walks the four operational studies that shaped MTIA 2i's deployment:
+
+1. the memory-error story: fleet telemetry, bit-flip injection, and the
+   enable-ECC decision (section 5.1);
+2. the 3,000-chip overclocking qualification (section 5.2);
+3. the firmware deadlock and its staged-rollout machinery (section 5.5);
+4. the quality A/B test between serving backends (section 5.6).
+
+Run:  python examples/productionization.py
+"""
+
+import numpy as np
+
+from repro.fleet import SyntheticCtrModel, run_ab_test
+from repro.quant import quantize_weights_static, quantized_matmul
+from repro.reliability import (
+    EccDecisionInputs,
+    ErrorRegion,
+    STUDY_FREQUENCIES_HZ,
+    SystemState,
+    apply_firmware_mitigation,
+    decide_ecc,
+    emergency_rollout,
+    has_deadlock,
+    override_rollout,
+    run_overclocking_study,
+    sample_fleet_errors,
+    sensitivity_study,
+    staged_detection,
+    typical_rollout,
+)
+
+
+def memory_errors() -> None:
+    print("1) memory errors and the ECC decision (section 5.1)")
+    fleet = sample_fleet_errors(seed=7)
+    print(
+        f"   fleet sample: {fleet.affected_fraction:.0%} of {fleet.servers} servers "
+        f"show errors (paper: 24% of 1,700), "
+        f"{fleet.mean_errored_cards_per_affected_server:.2f} cards/affected server"
+    )
+    report = sensitivity_study(trials_per_region=150)
+    for region in ErrorRegion:
+        print(f"   bit flips in {region.value:14}: {report.failure_rate(region):.0%} failures")
+    decision = decide_ecc(
+        EccDecisionInputs(
+            server_error_fraction=fleet.affected_fraction,
+            uncorrected_failure_rate=report.failure_rate(report.most_sensitive()),
+            anomaly_budget_per_day=50.0,
+            errors_per_affected_server_per_day=20.0,
+            fleet_servers=10_000,
+        )
+    )
+    print(f"   decision: enable ECC = {decision.enable_ecc} ({decision.rationale})")
+
+
+def overclocking() -> None:
+    print("\n2) overclocking at scale (section 5.2)")
+    study = run_overclocking_study(num_chips=3000, seed=11)
+    for frequency in STUDY_FREQUENCIES_HZ:
+        print(
+            f"   {frequency / 1e9:.2f} GHz: pass rate "
+            f"{study.overall_pass_rate(frequency):.3%}"
+        )
+    drop = study.pass_rate_drop(STUDY_FREQUENCIES_HZ[0], STUDY_FREQUENCIES_HZ[-1])
+    print(f"   1.10 -> 1.35 GHz pass-rate drop: {drop:.3%} (negligible -> ship 1.35 GHz)")
+
+
+def firmware() -> None:
+    print("\n3) firmware: the deadlock and rollouts (section 5.5)")
+    stressed = SystemState(
+        pe_utilization=1.0, pcie_queue_depth=8, control_core_reads_host_memory=True
+    )
+    print(f"   stressed system deadlocks: {has_deadlock(stressed)}")
+    mitigated = apply_firmware_mitigation(stressed)
+    print(f"   after relocating Control-Core memory to SRAM: {has_deadlock(mitigated)}")
+    detection = staged_detection(issue_incidence=0.001, seed=2)
+    print(
+        f"   staged rollout catches a 0.1%-incidence issue at stage "
+        f"{detection.detected_at_stage!r} ({detection.servers_exposed} servers exposed)"
+    )
+    print(
+        f"   rollout wall times: typical {typical_rollout().total_days:.0f} days, "
+        f"emergency {emergency_rollout().total_hours:.1f} h, "
+        f"override {override_rollout().total_hours:.1f} h"
+    )
+
+
+def ab_test() -> None:
+    print("\n4) backend A/B test (section 5.6)")
+    model = SyntheticCtrModel(num_features=64, seed=3)
+
+    def int8_transform(logits: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(logits)
+        weights = quantize_weights_static(np.eye(matrix.shape[1], dtype=np.float32))
+        return quantized_matmul(matrix, weights).reshape(logits.shape)
+
+    result = run_ab_test(
+        model,
+        control=model.exact_backend(),
+        treatment=model.backend_with(lambda x: x.astype(np.float16).astype(np.float64)),
+        num_requests=200_000,
+    )
+    print(
+        f"   FP16 backend vs FP32: NE delta {result.ne_delta:+.5f}, "
+        f"KS {result.prediction_ks:.4f}, revenue proxy x{result.revenue_proxy_ratio:.4f}"
+    )
+    print(f"   quality parity for launch: {result.quality_parity()}")
+
+
+def main() -> None:
+    memory_errors()
+    overclocking()
+    firmware()
+    ab_test()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: deploy a DLRM on the MTIA 2i model and compare with a GPU.
+
+Runs the full co-design pipeline — graph optimization passes, autotuning
+(sharding / batch / placement / kernels), execution on the chip model —
+then the same model on the GPU baseline, and prints the server-level
+Perf/TCO and Perf/Watt comparison the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+import dataclasses
+
+from repro import Mtia2iSystem
+from repro.models.dlrm import build_dlrm, small_dlrm
+from repro.perf import compare_reports
+from repro.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    config = small_dlrm()
+    build = lambda batch: build_dlrm(dataclasses.replace(config, batch=batch))
+
+    system = Mtia2iSystem()
+    result = system.deploy(build, model_name=config.name)
+    report = result.report
+
+    print(f"model: {config.name}")
+    print(f"  tuned batch size:    {result.autotune.batch}")
+    print(f"  shards needed:       {result.autotune.shard_plan.num_shards}")
+    print(f"  tuned FC kernels:    {len(result.autotune.kernel_variants)}")
+    print(f"  activation buffer:   {fmt_bytes(report.activation_buffer_bytes)}"
+          f" (in LLS: {report.activations_in_lls})")
+    print(f"  SRAM split:          LLS {fmt_bytes(report.lls_bytes)} / "
+          f"LLC {fmt_bytes(report.llc_bytes)}")
+    print(f"  dense SRAM hit rate: {report.dense_hit_rate:.1%}")
+    print(f"  sparse SRAM hit rate:{report.sparse_hit_rate:.1%}")
+    print(f"  batch latency:       {fmt_time(report.latency_s)}")
+    print(f"  throughput:          {report.throughput_samples_per_s:,.0f} samples/s/chip")
+    print(f"  bottlenecks:         "
+          + ", ".join(f"{k}={v:.0%}" for k, v in sorted(
+              report.bottleneck_histogram().items(), key=lambda kv: -kv[1])[:3]))
+
+    gpu_report = system.baseline_gpu_report(build, batch=result.autotune.batch)
+    comparison = compare_reports(report, gpu_report)
+    print("\nversus the GPU baseline (server level, 24 MTIA chips vs 8 GPUs):")
+    print(f"  Perf/TCO ratio:  {comparison.perf_per_tco_ratio:.2f}x")
+    print(f"  Perf/Watt ratio: {comparison.perf_per_watt_ratio:.2f}x")
+    print(f"  TCO reduction:   {comparison.tco_reduction:.0%}")
+
+
+if __name__ == "__main__":
+    main()

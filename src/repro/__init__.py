@@ -1,0 +1,61 @@
+"""repro: a performance-model reproduction of Meta's MTIA 2i (ISCA 2025).
+
+The library models an MTIA-2i-class inference accelerator — its PE grid,
+memory hierarchy (Local Memory / partitioned SRAM / LPDDR), NoC, and
+engines — alongside synthetic DLRM/DHEN/HSTU workloads, the model-chip
+co-design machinery (graph passes, autotuning), a serving simulator, and
+the productionization studies the paper reports (memory errors and ECC,
+overclocking, power provisioning, firmware rollouts, A/B testing).
+
+Quick start::
+
+    from repro import Mtia2iSystem, small_dlrm
+    from repro.models.dlrm import build_dlrm
+    import dataclasses
+
+    config = small_dlrm()
+    system = Mtia2iSystem()
+    result = system.deploy(
+        lambda b: build_dlrm(dataclasses.replace(config, batch=b)),
+        model_name=config.name,
+    )
+    print(result.report.throughput_samples_per_s)
+"""
+
+from repro.arch import gpu_spec, mtia1_spec, mtia2i_spec, spec_ratio
+from repro.core import (
+    Mtia2iSystem,
+    ModelEvaluation,
+    evaluate_model,
+    optimize_graph,
+    run_case_study,
+)
+from repro.graph import OpGraph
+from repro.models import figure6_models, small_dlrm, table1_models
+from repro.perf import ExecutionReport, Executor, evaluate_llm, llama2_7b, llama3_8b
+from repro.tco import compare_platforms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionReport",
+    "Executor",
+    "ModelEvaluation",
+    "Mtia2iSystem",
+    "OpGraph",
+    "__version__",
+    "compare_platforms",
+    "evaluate_llm",
+    "evaluate_model",
+    "figure6_models",
+    "gpu_spec",
+    "llama2_7b",
+    "llama3_8b",
+    "mtia1_spec",
+    "mtia2i_spec",
+    "optimize_graph",
+    "run_case_study",
+    "small_dlrm",
+    "spec_ratio",
+    "table1_models",
+]

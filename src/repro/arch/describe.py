@@ -1,0 +1,87 @@
+"""Textual architecture descriptions (paper Figures 1-3).
+
+Figures 1, 2, and 3 of the paper are block diagrams with no measured data.
+These functions render the same structure as text so the figure benchmarks
+can verify the model's topology matches the paper (8x8 PE grid, the PE's
+fixed-function units, and the software-stack layering).
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import ChipSpec
+from repro.units import fmt_bandwidth, fmt_bytes, fmt_flops
+
+PE_FIXED_FUNCTION_UNITS = (
+    "Memory Layout Unit (MLU)",
+    "Dot Product Engine (DPE)",
+    "Reduction Engine (RE)",
+    "SIMD Engine (SE)",
+    "Command Processor (CP)",
+    "Fabric Interface (FI)",
+)
+
+PE_PROCESSORS = (
+    "RISC-V scalar core",
+    "RISC-V vector core (64B VLEN)",
+)
+
+SOFTWARE_STACK_LAYERS = (
+    "PyTorch 2.0 (TorchDynamo + TorchInductor)",
+    "Triton kernels / eager-mode ATen ops",
+    "MTIA runtime (streams, memory, work queues)",
+    "Userspace driver",
+    "Firmware bundle (Control Core firmware, boot, power management)",
+    "MTIA 2i hardware",
+)
+
+
+def describe_chip(spec: ChipSpec) -> str:
+    """Figure-1-style description: grid, NoC, memories, host interface."""
+    side = int(round(spec.num_pes ** 0.5))
+    grid = f"{side}x{side}" if side * side == spec.num_pes else str(spec.num_pes)
+    from repro.tensors.dtypes import DType
+
+    gemm_dtype = DType.FP16 if DType.FP16 in spec.gemm.peak_flops else DType.INT8
+    lines = [
+        f"{spec.name} ({spec.process_node}, {spec.frequency_hz / 1e9:.2f} GHz)",
+        f"  PE grid: {grid} ({spec.num_pes} PEs) on a non-blocking NoC "
+        f"({fmt_bandwidth(spec.noc_bandwidth_bytes_per_s)})",
+        f"  Control Core: RISC-V quad-core, broadcast work queues: "
+        f"{spec.eager.broadcast_work_queues}",
+        f"  Host interface: {spec.host_link.name} "
+        f"({fmt_bandwidth(spec.host_link.bandwidth_bytes_per_s)}) "
+        "+ DMA + secure boot + decompression engine",
+        f"  On-chip SRAM: {fmt_bytes(spec.sram.capacity_bytes)} @ "
+        f"{fmt_bandwidth(spec.sram.bandwidth_bytes_per_s)}, partitioned LLC/LLS at "
+        f"{fmt_bytes(spec.sram_partition_bytes)} granularity",
+        f"  Off-chip {spec.dram.name}: {fmt_bytes(spec.dram.capacity_bytes)} @ "
+        f"{fmt_bandwidth(spec.dram.bandwidth_bytes_per_s)}",
+        f"  GEMM peak: {fmt_flops(spec.peak_gemm_flops(gemm_dtype))} ({gemm_dtype.value})",
+    ]
+    return "\n".join(lines)
+
+
+def describe_pe(spec: ChipSpec) -> str:
+    """Figure-2-style description of one Processing Element."""
+    lines = [
+        f"Processing Element ({spec.name}):",
+        f"  Local Memory: {fmt_bytes(spec.local_memory.capacity_bytes)} @ "
+        f"{fmt_bandwidth(spec.local_memory.bandwidth_bytes_per_s)}",
+        "  Processors:",
+    ]
+    lines.extend(f"    - {p}" for p in PE_PROCESSORS)
+    lines.append("  Fixed-function units:")
+    lines.extend(f"    - {u}" for u in PE_FIXED_FUNCTION_UNITS)
+    lines.append(
+        f"  Custom-instruction issue: {spec.issue.instructions_per_s / 1e6:.0f} M/s, "
+        f"amortization {spec.issue.multi_context_amortization:.0f}x, "
+        f"SIMD accumulate up to {spec.issue.simd_accumulate_rows} rows"
+    )
+    return "\n".join(lines)
+
+
+def describe_software_stack() -> str:
+    """Figure-3-style description of the MTIA software stack."""
+    lines = ["MTIA software stack (top to bottom):"]
+    lines.extend(f"  {i + 1}. {layer}" for i, layer in enumerate(SOFTWARE_STACK_LAYERS))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""The GPU baseline used for Perf/TCO and Perf/Watt comparisons.
+
+The paper compares MTIA 2i servers (24 chips) against Meta's GPU
+production servers (8 GPUs) built on the same Grand Teton platform —
+the platform Meta announced around H100-class parts.  We model such a
+GPU from public datasheet numbers.  The comparison is about
+*system-level* efficiency ratios, so the baseline captures peak FLOPS,
+HBM bandwidth, L2 capacity, kernel-launch overhead, and power, not SM
+microarchitecture.
+"""
+
+from __future__ import annotations
+
+from repro.arch.specs import (
+    ChipSpec,
+    EagerLaunchSpec,
+    GemmEngineSpec,
+    IssueSpec,
+    MemoryLevelSpec,
+    VectorEngineSpec,
+)
+from repro.tensors.dtypes import DType
+from repro.units import GB, GHZ, GiB, KiB, MiB, TB, TFLOPS, US
+
+
+def gpu_spec() -> ChipSpec:
+    """An H100-class datacenter GPU (80 GB, dense tensor-core rates) —
+    the accelerator the Grand Teton platform was built around."""
+    return ChipSpec(
+        name="H100-class GPU",
+        process_node="TSMC 4N",
+        frequency_hz=1.98 * GHZ,
+        design_frequency_hz=1.98 * GHZ,
+        gemm=GemmEngineSpec(
+            peak_flops={
+                DType.INT8: 1979 * TFLOPS,
+                DType.FP16: 989 * TFLOPS,
+                DType.BF16: 989 * TFLOPS,
+            },
+            sparsity_speedup=2.0,
+        ),
+        vector=VectorEngineSpec(
+            # CUDA-core vector throughput.
+            peak_flops={
+                DType.FP16: 134 * TFLOPS,
+                DType.BF16: 134 * TFLOPS,
+                DType.FP32: 67 * TFLOPS,
+                DType.INT8: 134 * TFLOPS,
+            }
+        ),
+        local_memory=MemoryLevelSpec(
+            # Shared memory / L1 per SM.
+            name="smem",
+            capacity_bytes=228 * KiB,
+            bandwidth_bytes_per_s=256 * GB,  # per SM
+            access_latency_s=10e-9,
+        ),
+        sram=MemoryLevelSpec(
+            # The 50 MB L2 plays the role MTIA's 256 MB SRAM plays, but is
+            # far too small to hold DLRM activation working sets.
+            name="l2",
+            capacity_bytes=50 * MiB,
+            bandwidth_bytes_per_s=10 * TB,
+            access_latency_s=200e-9,
+        ),
+        dram=MemoryLevelSpec(
+            name="hbm3",
+            capacity_bytes=80 * GiB,
+            bandwidth_bytes_per_s=3.35 * TB,
+            access_latency_s=400e-9,
+        ),
+        host_link=MemoryLevelSpec(
+            name="pcie_gen5_x16",
+            capacity_bytes=1,
+            bandwidth_bytes_per_s=64 * GB,
+            access_latency_s=1e-6,
+        ),
+        noc_bandwidth_bytes_per_s=10 * TB,
+        num_pes=132,  # SM count
+        issue=IssueSpec(
+            # GPUs do not have MTIA's custom-instruction bottleneck; model
+            # a high issue rate so compute/memory always dominate.
+            instructions_per_s=1e12,
+            multi_context_amortization=1.0,
+            simd_accumulate_rows=128,
+            indexed_dma=True,
+            unaligned_access=True,
+        ),
+        eager=EagerLaunchSpec(
+            # CUDA kernel-launch latency, amortized by CUDA-graph replay
+            # as production inference stacks do.
+            job_launch_s=2.5 * US,
+            job_replace_s=2.5 * US,
+            broadcast_work_queues=False,
+        ),
+        tdp_watts=700.0,
+        typical_watts=480.0,
+        idle_power_fraction=0.3,
+        die_area_mm2=814.0,
+        sustained_gemm_fraction=0.65,
+        overlap_factor=0.55,
+        dram_has_native_ecc=True,
+        controller_ecc_penalty=0.0,
+        sram_partition_bytes=50 * MiB,  # L2 is not software-partitioned
+    )

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``specs``      — print a chip's architecture summary (Figures 1-2 view)
+* ``evaluate``   — run a zoo model through the full MTIA-vs-GPU pipeline
+* ``llm``        — LLM prefill/decode feasibility (sections 3.6/8)
+* ``casestudy``  — replay the Figure 4 optimization journey
+* ``trace``      — execute a zoo model and write a Chrome trace JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch import describe_chip, describe_pe, gpu_spec, mtia1_spec, mtia2i_spec
+from repro.models import figure6_models
+
+_CHIPS = {
+    "mtia2i": mtia2i_spec,
+    "mtia1": mtia1_spec,
+    "gpu": gpu_spec,
+}
+
+_LLMS = {
+    "llama2-7b": "llama2_7b",
+    "llama3-8b": "llama3_8b",
+    "llama3-70b": "llama3_70b",
+}
+
+
+def _zoo_model(name: str):
+    for model in figure6_models():
+        if model.name.lower() == name.lower():
+            return model
+    valid = ", ".join(m.name for m in figure6_models())
+    raise SystemExit(f"unknown model {name!r}; choose one of: {valid}")
+
+
+def cmd_specs(args: argparse.Namespace) -> int:
+    chip = _CHIPS[args.chip]()
+    print(describe_chip(chip))
+    print()
+    print(describe_pe(chip))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core import evaluate_model
+
+    model = _zoo_model(args.model)
+    evaluation = evaluate_model(model)
+    report = evaluation.mtia_report
+    print(f"{model.name}: {model.description}")
+    print(f"  batch {model.batch} (GPU batch {model.gpu_batch or model.batch}), "
+          f"accelerators {model.accelerators}")
+    print(f"  MTIA 2i: {evaluation.mtia_chip_throughput:,.0f} samples/s/chip, "
+          f"latency {report.latency_s * 1e3:.2f} ms, "
+          f"sparse hit {report.sparse_hit_rate:.0%}")
+    print(f"  GPU:     {evaluation.gpu_chip_throughput:,.0f} samples/s/chip")
+    print(f"  replay:     Perf/TCO {evaluation.replay.perf_per_tco_ratio:.2f}x, "
+          f"Perf/Watt {evaluation.replay.perf_per_watt_ratio:.2f}x")
+    print(f"  production: Perf/TCO {evaluation.production_perf_per_tco:.2f}x, "
+          f"Perf/Watt {evaluation.production_perf_per_watt:.2f}x "
+          f"(TCO reduction {evaluation.production_tco_reduction:.0%})")
+    return 0
+
+
+def cmd_llm(args: argparse.Namespace) -> int:
+    import repro.perf as perf
+
+    config = getattr(perf, _LLMS[args.model])()
+    chip = _CHIPS[args.chip]()
+    verdict = perf.evaluate_llm(config, chip)
+    print(f"{config.name} on {chip.name}:")
+    print(f"  prefill TTFT: {verdict.prefill_latency_s * 1e3:.0f} ms "
+          f"(requirement {perf.TTFT_REQUIREMENT_S * 1e3:.0f} ms) "
+          f"-> {'pass' if verdict.prefill_meets_ttft else 'FAIL'}")
+    print(f"  decode/token: {verdict.decode_latency_s * 1e3:.1f} ms "
+          f"(requirement {perf.DECODE_REQUIREMENT_S * 1e3:.0f} ms) "
+          f"-> {'pass' if verdict.decode_meets_latency else 'FAIL'}")
+    print(f"  serving viable: {verdict.viable}")
+    return 0 if verdict.viable else 1
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.core import run_case_study
+
+    for stage in run_case_study(include_rejected_change=not args.skip_rejected):
+        print(f"m{stage.month} [{stage.variant}] {stage.label:36} "
+              f"Perf/TCO {stage.perf_per_tco:5.2f}  Perf/Watt {stage.perf_per_watt:5.2f}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.perf import Executor
+    from repro.perf.trace import summarize_trace, write_chrome_trace
+
+    model = _zoo_model(args.model)
+    chip = _CHIPS[args.chip]()
+    report = Executor(chip).run(model.graph(), model.batch, warmup_runs=1)
+    write_chrome_trace(report, args.out)
+    print(summarize_trace(report))
+    print(f"\nwrote {args.out} (open in Perfetto or chrome://tracing)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MTIA 2i performance-model reproduction (ISCA 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    specs = sub.add_parser("specs", help="print a chip's architecture summary")
+    specs.add_argument("--chip", choices=sorted(_CHIPS), default="mtia2i")
+    specs.set_defaults(func=cmd_specs)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a Figure 6 model")
+    evaluate.add_argument("--model", default="LC1")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    llm = sub.add_parser("llm", help="LLM serving feasibility")
+    llm.add_argument("--model", choices=sorted(_LLMS), default="llama2-7b")
+    llm.add_argument("--chip", choices=sorted(_CHIPS), default="mtia2i")
+    llm.set_defaults(func=cmd_llm)
+
+    casestudy = sub.add_parser("casestudy", help="replay the Figure 4 journey")
+    casestudy.add_argument("--skip-rejected", action="store_true")
+    casestudy.set_defaults(func=cmd_casestudy)
+
+    trace = sub.add_parser("trace", help="write a Chrome trace for a model")
+    trace.add_argument("--model", default="LC1")
+    trace.add_argument("--chip", choices=sorted(_CHIPS), default="mtia2i")
+    trace.add_argument("--out", default="trace.json")
+    trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Fleet-level models: server contention, allocation, A/B testing."""
+
+from repro.fleet.abtest import (
+    AbTestResult,
+    SyntheticCtrModel,
+    normalized_entropy,
+    run_ab_test,
+)
+from repro.fleet.allocator import Allocation, AllocationError, NumaAllocator
+from repro.fleet.colocation import (
+    ColocationRequest,
+    ColocationResult,
+    PlacedModel,
+    colocate,
+)
+from repro.fleet.server_sim import (
+    HOST_DRAM_AMPLIFICATION_NAIVE,
+    HOST_DRAM_AMPLIFICATION_OPTIMIZED,
+    HostContentionResult,
+    UtilizationResult,
+    host_dram_contention,
+    production_gain,
+    production_utilization,
+)
+
+__all__ = [
+    "AbTestResult",
+    "Allocation",
+    "AllocationError",
+    "ColocationRequest",
+    "ColocationResult",
+    "PlacedModel",
+    "colocate",
+    "HOST_DRAM_AMPLIFICATION_NAIVE",
+    "HOST_DRAM_AMPLIFICATION_OPTIMIZED",
+    "HostContentionResult",
+    "NumaAllocator",
+    "SyntheticCtrModel",
+    "UtilizationResult",
+    "host_dram_contention",
+    "normalized_entropy",
+    "production_gain",
+    "production_utilization",
+    "run_ab_test",
+]

@@ -1,0 +1,101 @@
+"""NUMA-aware accelerator allocation (paper section 3.4).
+
+The container management system allocates accelerators to models at the
+granularity of one or more accelerators, along with proportional CPU
+cores, host DRAM, and NIC bandwidth.  Scheduling is NUMA-aware: sharded
+models land on modules behind the same PCIe switch so peer-to-peer
+traffic never crosses sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.arch.server import ServerSpec
+
+
+class AllocationError(RuntimeError):
+    """Raised when a request cannot be placed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """A model instance's accelerator grant."""
+
+    model_name: str
+    socket: int
+    accelerator_ids: Tuple[int, ...]
+    cores: float
+    host_dram_bytes: float
+    nic_bytes_per_s: float
+
+
+class NumaAllocator:
+    """Tracks accelerator assignment across a server's sockets."""
+
+    def __init__(self, server: ServerSpec) -> None:
+        self.server = server
+        per_socket = server.accelerators_per_socket
+        self._free: List[List[int]] = [
+            list(range(s * per_socket, (s + 1) * per_socket))
+            for s in range(len(server.sockets))
+        ]
+        self.allocations: List[Allocation] = []
+
+    def free_accelerators(self, socket: Optional[int] = None) -> int:
+        """Count of unallocated accelerators (optionally per socket)."""
+        if socket is None:
+            return sum(len(f) for f in self._free)
+        return len(self._free[socket])
+
+    def allocate(self, model_name: str, num_accelerators: int) -> Allocation:
+        """Grant ``num_accelerators`` on a single socket (NUMA-aware).
+
+        Sharded models must be co-located behind one PCIe switch; a
+        request larger than one socket's capacity is rejected, matching
+        the production constraint.
+        """
+        if num_accelerators <= 0:
+            raise ValueError("must request at least one accelerator")
+        per_socket = self.server.accelerators_per_socket
+        if num_accelerators > per_socket:
+            raise AllocationError(
+                f"{model_name}: {num_accelerators} accelerators exceed one "
+                f"socket's {per_socket}; cross-socket sharding is not allowed"
+            )
+        # Best-fit: pick the socket with the least free capacity that fits,
+        # keeping large contiguous capacity available.
+        candidates = [
+            (len(free), s) for s, free in enumerate(self._free) if len(free) >= num_accelerators
+        ]
+        if not candidates:
+            raise AllocationError(f"{model_name}: no socket has {num_accelerators} free")
+        _, socket = min(candidates)
+        ids = tuple(self._free[socket][:num_accelerators])
+        del self._free[socket][:num_accelerators]
+        spec = self.server.sockets[socket]
+        share = num_accelerators / per_socket
+        allocation = Allocation(
+            model_name=model_name,
+            socket=socket,
+            accelerator_ids=ids,
+            cores=spec.cores * share,
+            host_dram_bytes=spec.dram_capacity_bytes * share,
+            nic_bytes_per_s=spec.nic_bandwidth_bytes_per_s * share,
+        )
+        self.allocations.append(allocation)
+        return allocation
+
+    def release(self, allocation: Allocation) -> None:
+        """Return an allocation's accelerators to the free pool."""
+        if allocation not in self.allocations:
+            raise AllocationError(f"unknown allocation for {allocation.model_name}")
+        self.allocations.remove(allocation)
+        self._free[allocation.socket].extend(allocation.accelerator_ids)
+        self._free[allocation.socket].sort()
+
+    def utilization(self) -> float:
+        """Fraction of the server's accelerators currently allocated."""
+        total = self.server.accelerators_per_server
+        return (total - self.free_accelerators()) / total

@@ -1,0 +1,98 @@
+"""Attention kernel models: standard MHA and HSTU ragged attention.
+
+MHA decomposes into projection GEMMs plus the score/softmax/value
+pipeline.  HSTU's fused ragged attention (paper section 4.3) adds a bias
+computed from positional weights and timestamps: table index computation
+vectorized on the RISC-V vector core, and a gather through the SIMD
+Engine's lookup tables performed piecewise because the tables exceed LUT
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.arch.specs import ChipSpec
+from repro.kernels.base import KernelEstimate
+from repro.kernels.gemm import estimate_gemm
+from repro.kernels.normalization import estimate_softmax
+from repro.pe.simd import SimdConfig, lut_gather_time, mtia2i_simd_config
+from repro.tensors.dtypes import DType
+from repro.tensors.tensor import GemmShape
+
+
+def estimate_mha(
+    batch: int,
+    heads: int,
+    seq_len: int,
+    head_dim: int,
+    chip: ChipSpec,
+    dtype: DType = DType.FP16,
+) -> KernelEstimate:
+    """One MHA block: QK^T, softmax, and PV as a pipelined kernel."""
+    if min(batch, heads, seq_len, head_dim) <= 0:
+        raise ValueError("MHA dimensions must be positive")
+    # Scores: (batch*heads) GEMMs of seq x head_dim x seq; values likewise.
+    score_shape = GemmShape(m=batch * heads * seq_len, k=head_dim, n=seq_len)
+    value_shape = GemmShape(m=batch * heads * seq_len, k=seq_len, n=head_dim)
+    scores = estimate_gemm(score_shape, chip, dtype)
+    values = estimate_gemm(value_shape, chip, dtype)
+    softmax_est = estimate_softmax(batch * heads * seq_len, seq_len, chip, dtype)
+    # The three phases pipeline; the bottleneck phase dominates steady state.
+    compute = max(
+        scores.compute_s + values.compute_s, softmax_est.compute_s
+    ) + min(scores.compute_s + values.compute_s, softmax_est.compute_s) * 0.2
+    return KernelEstimate(
+        compute_s=compute,
+        issue_s=scores.issue_s + values.issue_s + softmax_est.issue_s,
+        local_memory_s=scores.local_memory_s + values.local_memory_s,
+        engine="dpe+simd",
+    )
+
+
+def estimate_hstu_attention(
+    seq_lengths: Sequence[int],
+    heads: int,
+    head_dim: int,
+    chip: ChipSpec,
+    dtype: DType = DType.FP16,
+    bias_table_bytes: int = 512 * 1024,
+) -> KernelEstimate:
+    """HSTU fused ragged attention over per-user history lengths."""
+    if not len(seq_lengths):
+        raise ValueError("need at least one sequence")
+    if min(heads, head_dim) <= 0:
+        raise ValueError("heads and head_dim must be positive")
+    simd = mtia2i_simd_config()
+    simd = SimdConfig(lanes=simd.lanes, frequency_hz=chip.frequency_hz)
+    total_scores = sum(int(s) * int(s) for s in seq_lengths)
+    total_tokens = sum(int(s) for s in seq_lengths)
+    # Attention GEMMs: ragged shapes fill the MAC tiles imperfectly; an
+    # effective utilization models the jaggedness (specialization across
+    # sequence-length buckets recovers most of it).
+    gemm_flops = sum(2 * 2 * int(s) * int(s) * head_dim * heads for s in seq_lengths)
+    ragged_utilization = 0.6
+    compute_gemm = gemm_flops / (chip.peak_gemm_flops(dtype) * ragged_utilization)
+    # Bias: index computation on the vector core plus piecewise LUT gather.
+    per_pe_lookups = max(1, math.ceil(total_scores / chip.num_pes))
+    bias_gather = lut_gather_time(per_pe_lookups, bias_table_bytes, simd, dtype)
+    index_compute = per_pe_lookups * 2 / (chip.peak_vector_flops(dtype) / chip.num_pes)
+    # Jagged softmax over scores.
+    softmax_est = estimate_softmax(
+        max(1, total_tokens), max(1, total_scores // max(1, total_tokens)), chip, dtype
+    )
+    compute = compute_gemm + max(bias_gather + index_compute, softmax_est.compute_s)
+    issue_instructions = total_scores / chip.num_pes / 64 + per_pe_lookups / 32
+    return KernelEstimate(
+        compute_s=compute,
+        issue_s=issue_instructions / chip.issue.instructions_per_s,
+        local_memory_s=total_tokens
+        * heads
+        * head_dim
+        * dtype.bytes
+        * 2
+        / chip.num_pes
+        / chip.local_memory.bandwidth_bytes_per_s,
+        engine="dpe+simd+vector",
+    )

@@ -1,0 +1,114 @@
+"""LayerNorm and Softmax kernel models (paper section 4.3).
+
+LayerNorm takes three distinct passes — row-wise mean, row-wise variance,
+element-wise normalize — balanced across the PE's two RISC-V cores and
+the SIMD Engine.  Softmax takes five passes (max, subtract, exp, sum,
+divide) and needed careful pipelining between the scalar/vector cores,
+the DMA engine, and the SIMD Engine.  When the inner dimension is small,
+the input must additionally be transposed to keep the SIMD lanes full.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.specs import ChipSpec
+from repro.kernels.base import KernelEstimate
+from repro.pe.command import PipelineStage, pipeline_time
+from repro.pe.mlu import MluConfig, transpose_time
+from repro.tensors.dtypes import DType
+
+LAYERNORM_PASSES = 3
+SOFTMAX_PASSES = 5
+
+# Inner dimensions below this leave SIMD lanes idle without a transpose.
+SMALL_INNER_DIM = 64
+
+
+def _vector_rate_per_pe(chip: ChipSpec, dtype: DType) -> float:
+    return chip.peak_vector_flops(dtype) / chip.num_pes
+
+
+def estimate_layernorm(
+    rows: int, cols: int, chip: ChipSpec, dtype: DType = DType.FP16
+) -> KernelEstimate:
+    """Three-pass LayerNorm pipelined across SIMD and the vector core."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    elements_per_pe = math.ceil(rows / chip.num_pes) * cols
+    rate = _vector_rate_per_pe(chip, dtype)
+    per_pass = elements_per_pe / rate
+    # The three passes pipeline over row tiles; the mixture of
+    # fixed-function commands and vector instructions lets two passes
+    # overlap, modelled with the pipeline law over row tiles.
+    tiles = max(1, math.ceil(rows / chip.num_pes / 8))
+    stages = [
+        PipelineStage("mean", per_pass / tiles),
+        PipelineStage("variance", per_pass / tiles),
+        PipelineStage("normalize", per_pass / tiles),
+    ]
+    compute = pipeline_time(stages, tiles)
+    issue_instructions = tiles * LAYERNORM_PASSES * 4
+    return KernelEstimate(
+        compute_s=compute,
+        issue_s=issue_instructions / chip.issue.instructions_per_s,
+        local_memory_s=elements_per_pe
+        * dtype.bytes
+        * 2  # read + write
+        / chip.local_memory.bandwidth_bytes_per_s,
+        engine="simd+vector",
+    )
+
+
+def estimate_softmax(
+    rows: int, cols: int, chip: ChipSpec, dtype: DType = DType.FP16
+) -> KernelEstimate:
+    """Five-pass Softmax, with an extra transpose when the inner dim is
+    small (section 4.3)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    elements_per_pe = math.ceil(rows / chip.num_pes) * cols
+    rate = _vector_rate_per_pe(chip, dtype)
+    per_pass = elements_per_pe / rate
+    tiles = max(1, math.ceil(rows / chip.num_pes / 8))
+    stages = [
+        PipelineStage(name, per_pass / tiles)
+        for name in ("max", "subtract", "exp", "sum", "divide")
+    ]
+    compute = pipeline_time(stages, tiles)
+    transpose_overhead = 0.0
+    if cols < SMALL_INNER_DIM:
+        mlu = MluConfig(frequency_hz=chip.frequency_hz)
+        transpose_overhead = 2 * transpose_time(
+            elements_per_pe * dtype.bytes, mlu
+        )  # in and out
+    issue_instructions = tiles * SOFTMAX_PASSES * 4
+    return KernelEstimate(
+        compute_s=compute + transpose_overhead,
+        issue_s=issue_instructions / chip.issue.instructions_per_s,
+        local_memory_s=elements_per_pe
+        * dtype.bytes
+        * 2
+        / chip.local_memory.bandwidth_bytes_per_s,
+        engine="simd+vector",
+    )
+
+
+def estimate_elementwise(
+    num_elements: int,
+    chip: ChipSpec,
+    dtype: DType = DType.FP16,
+    ops_per_element: float = 1.0,
+) -> KernelEstimate:
+    """Generic elementwise kernel on the SIMD Engine."""
+    if num_elements < 0:
+        raise ValueError("element count must be non-negative")
+    per_pe = math.ceil(num_elements / chip.num_pes)
+    rate = _vector_rate_per_pe(chip, dtype)
+    compute = per_pe * ops_per_element / rate
+    return KernelEstimate(
+        compute_s=compute,
+        issue_s=max(1.0, per_pe / 1024) / chip.issue.instructions_per_s,
+        local_memory_s=per_pe * dtype.bytes * 2 / chip.local_memory.bandwidth_bytes_per_s,
+        engine="simd",
+    )

@@ -1,0 +1,134 @@
+"""Network-on-chip bandwidth and contention model.
+
+The NoC connects the 8x8 PE grid to the shared SRAM and memory
+controllers through crossbars on each side of the die.  For the
+performance model the relevant behaviours are:
+
+* aggregate bandwidth caps transfer rates (Table 2: 3.3x MTIA 1's);
+* concurrent flows share links — modelled with max-min fair allocation;
+* hardware *broadcast reads* let one SRAM read feed all PE columns,
+  eliminating the N-fold read amplification when every PE needs the same
+  weight tile (the optimization behind the 45% latency gain for large
+  GEMMs in section 4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """One logical transfer: a source, a destination, and a byte count."""
+
+    src: str
+    dst: str
+    num_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise ValueError("flow size must be non-negative")
+
+
+class NocFabric:
+    """A two-sided crossbar fabric with per-endpoint port limits.
+
+    Endpoints are named strings (e.g. ``"pe3"``, ``"sram"``, ``"dram"``,
+    ``"host"``).  Each endpoint has a port bandwidth; the fabric itself
+    has an aggregate bandwidth.  Transfers are max-min fair across the
+    contended resources.
+    """
+
+    def __init__(
+        self,
+        aggregate_bandwidth: float,
+        port_bandwidths: Dict[str, float],
+        default_port_bandwidth: float,
+    ) -> None:
+        if aggregate_bandwidth <= 0 or default_port_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.aggregate_bandwidth = aggregate_bandwidth
+        self.port_bandwidths = dict(port_bandwidths)
+        self.default_port_bandwidth = default_port_bandwidth
+
+    def _port_bw(self, endpoint: str) -> float:
+        return self.port_bandwidths.get(endpoint, self.default_port_bandwidth)
+
+    def fair_rates(self, flows: Sequence[Flow]) -> List[float]:
+        """Max-min fair rate for each concurrent flow.
+
+        Uses progressive filling: rates grow together; a flow freezes when
+        any of its resources (source port, destination port, aggregate)
+        saturates.
+        """
+        active = list(range(len(flows)))
+        rates = [0.0] * len(flows)
+        # Remaining capacity per resource.
+        capacity: Dict[str, float] = {"__aggregate__": self.aggregate_bandwidth}
+        users: Dict[str, List[int]] = {"__aggregate__": list(active)}
+        for i, flow in enumerate(flows):
+            for endpoint in (f"src:{flow.src}", f"dst:{flow.dst}"):
+                name = endpoint.split(":", 1)[1]
+                capacity.setdefault(endpoint, self._port_bw(name))
+                users.setdefault(endpoint, []).append(i)
+        while active:
+            # The bottleneck resource determines the next increment.
+            increment = min(
+                capacity[res] / len([u for u in users[res] if u in active])
+                for res in capacity
+                if any(u in active for u in users[res])
+            )
+            saturated_flows = set()
+            for res in list(capacity):
+                sharers = [u for u in users[res] if u in active]
+                if not sharers:
+                    continue
+                capacity[res] -= increment * len(sharers)
+                if capacity[res] <= 1e-12:
+                    saturated_flows.update(sharers)
+            for i in active:
+                rates[i] += increment
+            active = [i for i in active if i not in saturated_flows]
+        return rates
+
+    def transfer_time(self, flows: Sequence[Flow]) -> float:
+        """Time until every concurrent flow completes at its fair rate.
+
+        This is a single-shot approximation (rates are not re-allocated as
+        flows finish), which errs pessimistic — appropriate for a
+        contention bound.
+        """
+        if not flows:
+            return 0.0
+        rates = self.fair_rates(flows)
+        return max(
+            (f.num_bytes / r) if f.num_bytes else 0.0
+            for f, r in zip(flows, rates)
+        )
+
+    def broadcast_read_bytes(
+        self, num_bytes: float, num_destinations: int, hardware_broadcast: bool
+    ) -> float:
+        """Source-side bytes needed to deliver the same data to N PEs.
+
+        With hardware broadcast-read support (MTIA 2i), the SRAM is read
+        once and the fabric replicates; without it, each destination
+        issues its own read and the source port carries N copies.
+        """
+        if num_destinations <= 0:
+            raise ValueError("need at least one destination")
+        return num_bytes if hardware_broadcast else num_bytes * num_destinations
+
+
+def mtia_fabric(noc_bandwidth: float, num_pes: int, pe_port_bandwidth: float) -> NocFabric:
+    """A fabric shaped like MTIA's: PE ports plus sram/dram/host endpoints."""
+    ports = {f"pe{i}": pe_port_bandwidth for i in range(num_pes)}
+    ports["sram"] = noc_bandwidth  # SRAM banks match fabric bandwidth
+    ports["dram"] = noc_bandwidth / 8  # memory controllers are narrower
+    ports["host"] = noc_bandwidth / 16
+    return NocFabric(
+        aggregate_bandwidth=noc_bandwidth,
+        port_bandwidths=ports,
+        default_port_bandwidth=pe_port_bandwidth,
+    )

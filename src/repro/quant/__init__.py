@@ -1,0 +1,49 @@
+"""Dynamic INT8 quantization: numerics and performance analysis."""
+
+from repro.quant.analysis import (
+    FcQuantizationReport,
+    ModelQuantizationPlan,
+    fc_quantization_report,
+    plan_model_quantization,
+)
+from repro.quant.sparsity import (
+    SparsityImpact,
+    natural_sparsity,
+    prune_2_4,
+    satisfies_2_4,
+    sparse_trained_weights,
+    sparsity_impact,
+)
+from repro.quant.int8 import (
+    INT8_MAX,
+    QuantizedTensor,
+    fp16_matmul_error,
+    quantization_error,
+    quantize_per_group,
+    quantize_per_tensor,
+    quantize_rowwise,
+    quantize_weights_static,
+    quantized_matmul,
+)
+
+__all__ = [
+    "FcQuantizationReport",
+    "INT8_MAX",
+    "ModelQuantizationPlan",
+    "QuantizedTensor",
+    "fc_quantization_report",
+    "fp16_matmul_error",
+    "plan_model_quantization",
+    "quantization_error",
+    "quantize_per_group",
+    "quantize_per_tensor",
+    "quantize_rowwise",
+    "quantize_weights_static",
+    "quantized_matmul",
+    "SparsityImpact",
+    "natural_sparsity",
+    "prune_2_4",
+    "satisfies_2_4",
+    "sparse_trained_weights",
+    "sparsity_impact",
+]

@@ -1,0 +1,149 @@
+"""Dynamic INT8 quantization numerics (paper sections 3.3 and 4.4).
+
+MTIA 2i computes quantization parameters on the fly: the Reduction
+Engine emits per-row min/max during the matmul, and the SIMD Engine
+derives row-wise scales — channel-wise symmetric dynamic quantization.
+This module implements the *actual arithmetic* with numpy so quality
+comparisons against FP16 (the paper's criterion for adopting INT8) are
+measured, not asserted.
+
+Quantization granularities evaluated by the paper:
+  * per-tensor — one scale for the whole activation tensor;
+  * per-batch-item (row-wise, M as the batch dimension);
+  * per-N-batch-item — one scale per group of N rows.
+The paper's finding: row-wise activations + static weights match FP16.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.pe.reduction import rowwise_minmax
+
+INT8_MAX = 127
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedTensor:
+    """INT8 values plus their (per-row or scalar) scales."""
+
+    values: np.ndarray  # int8
+    scales: np.ndarray  # float32; shape broadcastable against values
+
+    def dequantize(self) -> np.ndarray:
+        """Back to floating point."""
+        return self.values.astype(np.float32) * self.scales
+
+
+def _symmetric_scale(abs_max: np.ndarray) -> np.ndarray:
+    abs_max = np.maximum(np.asarray(abs_max, dtype=np.float64), 1e-12)
+    return (abs_max / INT8_MAX).astype(np.float32)
+
+
+def quantize_per_tensor(x: np.ndarray) -> QuantizedTensor:
+    """Symmetric per-tensor quantization."""
+    x = np.asarray(x, dtype=np.float32)
+    scale = _symmetric_scale(np.max(np.abs(x)) if x.size else 1.0)
+    q = np.clip(np.round(x / scale), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=q, scales=np.asarray(scale, dtype=np.float32))
+
+
+def quantize_rowwise(x: np.ndarray) -> QuantizedTensor:
+    """Symmetric row-wise dynamic quantization — the RE/SIMD hardware path.
+
+    The per-row min/max comes from :func:`rowwise_minmax`, exactly the
+    statistic the Reduction Engine produces during accumulation.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise ValueError(f"row-wise quantization expects a matrix, got {x.shape}")
+    row_min, row_max = rowwise_minmax(x)
+    abs_max = np.maximum(np.abs(row_min), np.abs(row_max))
+    scales = _symmetric_scale(abs_max)[:, None]
+    q = np.clip(np.round(x / scales), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=q, scales=scales.astype(np.float32))
+
+
+def quantize_per_group(x: np.ndarray, group_rows: int) -> QuantizedTensor:
+    """Per-N-batch-item quantization: one scale per ``group_rows`` rows."""
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 2:
+        raise ValueError("per-group quantization expects a matrix")
+    if group_rows <= 0:
+        raise ValueError("group size must be positive")
+    scales = np.empty((x.shape[0], 1), dtype=np.float32)
+    for start in range(0, x.shape[0], group_rows):
+        block = x[start : start + group_rows]
+        scale = _symmetric_scale(np.max(np.abs(block)) if block.size else 1.0)
+        scales[start : start + group_rows] = scale
+    q = np.clip(np.round(x / scales), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=q, scales=scales)
+
+
+def quantize_weights_static(w: np.ndarray) -> QuantizedTensor:
+    """Static per-output-channel weight quantization (offline calibration).
+
+    Weights are constant, so per-column scales are computed once at model
+    publish time — the paper's companion to dynamic activations.
+    """
+    w = np.asarray(w, dtype=np.float32)
+    if w.ndim != 2:
+        raise ValueError("weight quantization expects a matrix")
+    abs_max = np.max(np.abs(w), axis=0)
+    scales = _symmetric_scale(abs_max)[None, :]
+    q = np.clip(np.round(w / scales), -INT8_MAX, INT8_MAX).astype(np.int8)
+    return QuantizedTensor(values=q, scales=scales)
+
+
+def quantized_matmul(
+    x: np.ndarray, weights: QuantizedTensor, activation_mode: str = "rowwise"
+) -> np.ndarray:
+    """INT8 x INT8 matmul with INT32 accumulation and FP dequantization.
+
+    ``activation_mode`` selects the activation quantization granularity:
+    ``"rowwise"``, ``"tensor"``, or ``"group:N"``.
+    """
+    if activation_mode == "rowwise":
+        qx = quantize_rowwise(x)
+    elif activation_mode == "tensor":
+        qx = quantize_per_tensor(np.asarray(x, dtype=np.float32))
+    elif activation_mode.startswith("group:"):
+        qx = quantize_per_group(x, int(activation_mode.split(":", 1)[1]))
+    else:
+        raise ValueError(f"unknown activation mode {activation_mode!r}")
+    # INT32 accumulation, exactly as the DPE does.
+    acc = qx.values.astype(np.int64) @ weights.values.astype(np.int64)
+    if np.any(np.abs(acc) > 2**31 - 1):
+        raise OverflowError("INT32 accumulator overflow; reduce K or scales")
+    row_scales = qx.scales if qx.scales.ndim else qx.scales.reshape(1)
+    return acc.astype(np.float64) * np.asarray(row_scales, dtype=np.float64) * np.asarray(
+        weights.scales, dtype=np.float64
+    )
+
+
+def quantization_error(
+    x: np.ndarray, w: np.ndarray, activation_mode: str = "rowwise"
+) -> float:
+    """Relative Frobenius error of the quantized matmul versus FP32."""
+    reference = np.asarray(x, dtype=np.float64) @ np.asarray(w, dtype=np.float64)
+    quantized = quantized_matmul(x, quantize_weights_static(w), activation_mode)
+    denom = np.linalg.norm(reference)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(quantized - reference) / denom)
+
+
+def fp16_matmul_error(x: np.ndarray, w: np.ndarray) -> float:
+    """Relative error of the FP16 path (the baseline the paper compares
+    INT8 quality against)."""
+    reference = np.asarray(x, dtype=np.float64) @ np.asarray(w, dtype=np.float64)
+    fp16 = (
+        np.asarray(x, dtype=np.float16).astype(np.float32)
+        @ np.asarray(w, dtype=np.float16).astype(np.float32)
+    )
+    denom = np.linalg.norm(reference)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(fp16.astype(np.float64) - reference) / denom)

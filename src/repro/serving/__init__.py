@@ -1,0 +1,59 @@
+"""Serving simulation: traffic, coalescing, device scheduling, SLOs."""
+
+from repro.serving.batcher import (
+    Batch,
+    CoalescingConfig,
+    CoalescingStats,
+    coalesce,
+    coalescing_stats,
+)
+from repro.serving.faults import (
+    FaultImpact,
+    PoolState,
+    headroom_for_fault_tolerance,
+    inject_device_faults,
+    queueing_delay_factor,
+)
+from repro.serving.scheduler import (
+    BatchCompletion,
+    ModelJobProfile,
+    ScheduleResult,
+    schedule_batches,
+)
+from repro.serving.simulator import (
+    DEFAULT_P99_SLO_S,
+    ServingOutcome,
+    max_throughput_under_slo,
+    simulate_serving,
+)
+from repro.serving.workload import (
+    Request,
+    diurnal_load_curve,
+    poisson_stream,
+    replay_stream,
+)
+
+__all__ = [
+    "Batch",
+    "BatchCompletion",
+    "CoalescingConfig",
+    "CoalescingStats",
+    "DEFAULT_P99_SLO_S",
+    "FaultImpact",
+    "ModelJobProfile",
+    "PoolState",
+    "Request",
+    "ScheduleResult",
+    "ServingOutcome",
+    "coalesce",
+    "coalescing_stats",
+    "diurnal_load_curve",
+    "headroom_for_fault_tolerance",
+    "inject_device_faults",
+    "max_throughput_under_slo",
+    "queueing_delay_factor",
+    "poisson_stream",
+    "replay_stream",
+    "schedule_batches",
+    "simulate_serving",
+]

@@ -1,0 +1,115 @@
+"""Serving-level fault injection: devices dropping out of a pool.
+
+The section 5.5 deadlock manifests as a device losing PCIe connectivity
+— from the serving tier's perspective, a replica silently vanishing.
+This module quantifies what a device-fault rate does to a serving pool:
+the surviving replicas absorb the load, queueing amplifies latency as
+utilization climbs, and past the headroom the pool violates its SLO.
+It is the arithmetic behind treating a 0.1% fleet incidence as urgent
+enough for an emergency firmware rollout.
+
+The model is an M/M/c-style approximation: each device is a server with
+exponential-ish service; we use the square-root staffing heuristics that
+capacity teams actually apply rather than a full queueing simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolState:
+    """A serving pool before/after faults."""
+
+    devices: int
+    device_throughput: float  # samples/s each
+    offered_load: float  # samples/s
+
+    def __post_init__(self) -> None:
+        if self.devices <= 0 or self.device_throughput <= 0:
+            raise ValueError("pool must have capacity")
+        if self.offered_load < 0:
+            raise ValueError("load must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        """Offered load over pool capacity."""
+        return self.offered_load / (self.devices * self.device_throughput)
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the pool cannot serve the offered load at all."""
+        return self.utilization >= 1.0
+
+
+def queueing_delay_factor(utilization: float) -> float:
+    """Relative queueing delay at a given utilization (M/M/1-style
+    1/(1-rho) growth, capped for reporting)."""
+    if utilization < 0:
+        raise ValueError("utilization must be non-negative")
+    if utilization >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - utilization)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultImpact:
+    """Effect of a device-fault rate on a pool."""
+
+    before: PoolState
+    after: PoolState
+    fault_rate: float
+
+    @property
+    def devices_lost(self) -> int:
+        """Replicas removed by the faults."""
+        return self.before.devices - self.after.devices
+
+    @property
+    def latency_amplification(self) -> float:
+        """Queueing-delay growth caused by the faults."""
+        base = queueing_delay_factor(self.before.utilization)
+        faulted = queueing_delay_factor(self.after.utilization)
+        return faulted / base if base else math.inf
+
+    @property
+    def slo_at_risk(self) -> bool:
+        """Whether the pool's tail latency is meaningfully degraded
+        (queueing delay more than ~1.5x) or the pool is overloaded."""
+        return self.after.overloaded or self.latency_amplification > 1.5
+
+
+def inject_device_faults(pool: PoolState, fault_rate: float) -> FaultImpact:
+    """Remove ``fault_rate`` of the pool's devices (rounded up: a single
+    wedged device still matters in a small pool) and re-evaluate."""
+    if not (0.0 <= fault_rate < 1.0):
+        raise ValueError("fault rate must be in [0, 1)")
+    lost = math.ceil(pool.devices * fault_rate) if fault_rate > 0 else 0
+    lost = min(lost, pool.devices - 1)
+    after = dataclasses.replace(pool, devices=pool.devices - lost)
+    return FaultImpact(before=pool, after=after, fault_rate=fault_rate)
+
+
+def headroom_for_fault_tolerance(
+    pool: PoolState, fault_rate: float, max_delay_factor: float = 1.5
+) -> int:
+    """Extra devices needed so the pool still meets its delay budget when
+    ``fault_rate`` of devices are down — the buffer capacity sizing the
+    paper's section 5.4 discussion alludes to."""
+    if max_delay_factor <= 1.0:
+        raise ValueError("delay budget must exceed 1")
+    target_utilization = 1.0 - 1.0 / max_delay_factor
+    extra = 0
+    while True:
+        candidate = dataclasses.replace(pool, devices=pool.devices + extra)
+        impact = inject_device_faults(candidate, fault_rate)
+        if (
+            not impact.after.overloaded
+            and impact.after.utilization <= target_utilization
+        ):
+            return extra
+        extra += 1
+        if extra > 10 * pool.devices:  # pragma: no cover - defensive
+            raise RuntimeError("cannot satisfy the delay budget")

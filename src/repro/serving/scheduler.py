@@ -1,0 +1,206 @@
+"""Device job scheduling: remote/merge networks and TBE consolidation.
+
+Paper section 6 (Figure 5): models are partitioned into remote (sparse)
+and merge (dense) networks.  Each batched request runs its remote jobs
+(one per TBE shard — weighted and unweighted TBEs were separate jobs)
+and then a merge job consuming their outputs.  With FIFO job queues, a
+following request's remote jobs can be scheduled ahead of the previous
+request's merge job (remote-remote-merge-merge), inflating merge latency
+and P99.  Consolidating the weighted and unweighted TBE instances into a
+single job halves the remote-job count, improving interleaving and
+cutting measured P99 from 99 ms to 86 ms — with identical PE-grid
+execution times, the gains coming purely from scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.serving.batcher import Batch
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelJobProfile:
+    """Execution times of one model's jobs on a device.
+
+    ``dispatch_overhead_s`` is the serving-stack cost each job carries
+    (host dispatch, completion round trip); ``merge_submission_delay_s``
+    is the host round trip between the last remote finishing and the
+    merge job entering the device queue — the gap that lets a following
+    batch's remotes jump ahead (the remote-remote-merge-merge pattern).
+    """
+
+    remote_time_s: float  # one remote (TBE) job, PE-grid time
+    merge_time_s: float
+    remote_jobs_per_batch: int  # 2 when weighted/unweighted are separate
+    dispatch_overhead_s: float = 0.5e-3
+    merge_submission_delay_s: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.remote_time_s < 0 or self.merge_time_s < 0:
+            raise ValueError("job times must be non-negative")
+        if self.remote_jobs_per_batch < 1:
+            raise ValueError("need at least one remote job")
+        if self.dispatch_overhead_s < 0 or self.merge_submission_delay_s < 0:
+            raise ValueError("overheads must be non-negative")
+
+    def consolidated(self) -> "ModelJobProfile":
+        """The TBE-consolidation transform: half the remote jobs, with the
+        *same total PE-grid time* (paper: 'the execution time of the
+        merge and remote jobs ... remains the same in both cases, so the
+        gains were realized higher in the serving stack').  What shrinks
+        is the per-job serving-stack overhead and the number of
+        scheduling slots a later batch can steal."""
+        merged_jobs = max(1, self.remote_jobs_per_batch // 2)
+        total_remote = self.remote_time_s * self.remote_jobs_per_batch
+        return ModelJobProfile(
+            remote_time_s=total_remote / merged_jobs,
+            merge_time_s=self.merge_time_s,
+            remote_jobs_per_batch=merged_jobs,
+            dispatch_overhead_s=self.dispatch_overhead_s,
+            merge_submission_delay_s=self.merge_submission_delay_s,
+        )
+
+
+@dataclasses.dataclass
+class _Job:
+    batch_index: int
+    kind: str  # "remote" | "merge"
+    duration_s: float
+    enqueue_s: float
+    remaining_deps: int = 0
+    start_s: float = -1.0
+    finish_s: float = -1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchCompletion:
+    """Timing of one batch through the device."""
+
+    batch: Batch
+    remote_done_s: float
+    merge_done_s: float
+
+    @property
+    def merge_latency_s(self) -> float:
+        """Time from batch formation to merge completion."""
+        return self.merge_done_s - self.batch.formed_at_s
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling a batch stream on one device."""
+
+    completions: List[BatchCompletion]
+    device_busy_s: float
+    makespan_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Device busy fraction over the makespan."""
+        return self.device_busy_s / self.makespan_s if self.makespan_s else 0.0
+
+    def request_latencies(self) -> List[float]:
+        """Per-request latency: arrival to merge completion."""
+        return [
+            completion.merge_done_s - request.arrival_s
+            for completion in self.completions
+            for request in completion.batch.requests
+        ]
+
+    def latency_percentile(self, percentile: float) -> float:
+        """A latency percentile over requests (e.g. 99 for P99)."""
+        latencies = sorted(self.request_latencies())
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(round(percentile / 100 * (len(latencies) - 1))))
+        return latencies[index]
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        """Served samples per second over the makespan."""
+        samples = sum(c.batch.samples for c in self.completions)
+        return samples / self.makespan_s if self.makespan_s else 0.0
+
+
+def schedule_batches(
+    batches: Sequence[Batch], profile: ModelJobProfile
+) -> ScheduleResult:
+    """FIFO job scheduling of a batch stream on a single device.
+
+    Jobs become runnable when enqueued and dependencies resolve; the
+    device picks the runnable job with the earliest enqueue time.  Remote
+    jobs enqueue at batch formation; the merge job enqueues with them but
+    depends on all of its batch's remote jobs — so FIFO order interleaves
+    a later batch's remotes ahead of an earlier batch's merge exactly as
+    the paper's traces showed.
+    """
+    jobs: List[_Job] = []
+    merge_jobs: Dict[int, _Job] = {}
+    for index, batch in enumerate(batches):
+        for _ in range(profile.remote_jobs_per_batch):
+            jobs.append(
+                _Job(
+                    batch_index=index,
+                    kind="remote",
+                    duration_s=profile.remote_time_s + profile.dispatch_overhead_s,
+                    enqueue_s=batch.formed_at_s,
+                )
+            )
+        merge = _Job(
+            batch_index=index,
+            kind="merge",
+            duration_s=profile.merge_time_s + profile.dispatch_overhead_s,
+            enqueue_s=batch.formed_at_s,
+            remaining_deps=profile.remote_jobs_per_batch,
+        )
+        jobs.append(merge)
+        merge_jobs[index] = merge
+    # Event-driven single-server simulation.
+    pending = sorted(jobs, key=lambda j: (j.enqueue_s, 0 if j.kind == "remote" else 1))
+    time = 0.0
+    busy = 0.0
+    done = 0
+    while done < len(jobs):
+        runnable = [
+            j
+            for j in pending
+            if j.finish_s < 0 and j.enqueue_s <= time and j.remaining_deps == 0
+        ]
+        if not runnable:
+            # Advance to the next enqueue event.
+            future = [j.enqueue_s for j in pending if j.finish_s < 0 and j.remaining_deps == 0]
+            if not future:
+                raise RuntimeError("scheduler deadlock: jobs with unresolved deps")
+            time = max(time, min(future))
+            continue
+        # FIFO by (current) queue-entry time.
+        job = min(runnable, key=lambda j: j.enqueue_s)
+        job.start_s = time
+        job.finish_s = time + job.duration_s
+        busy += job.duration_s
+        time = job.finish_s
+        done += 1
+        if job.kind == "remote":
+            merge = merge_jobs[job.batch_index]
+            merge.remaining_deps -= 1
+            if merge.remaining_deps == 0:
+                # The merge is (re)submitted after a host round trip; its
+                # new FIFO position is behind any remote already queued —
+                # the crux of the remote-remote-merge-merge pattern.
+                merge.enqueue_s = time + profile.merge_submission_delay_s
+    completions = []
+    for index, batch in enumerate(batches):
+        remotes = [
+            j for j in jobs if j.batch_index == index and j.kind == "remote"
+        ]
+        completions.append(
+            BatchCompletion(
+                batch=batch,
+                remote_done_s=max(j.finish_s for j in remotes),
+                merge_done_s=merge_jobs[index].finish_s,
+            )
+        )
+    makespan = max((j.finish_s for j in jobs), default=0.0)
+    return ScheduleResult(completions=completions, device_busy_s=busy, makespan_s=makespan)

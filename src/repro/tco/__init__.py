@@ -1,0 +1,25 @@
+"""Total Cost of Ownership accounting (the paper's headline metric)."""
+
+from repro.tco.model import (
+    GPU_COST,
+    MTIA2I_COST,
+    CostInputs,
+    PlatformComparison,
+    TcoBreakdown,
+    compare_platforms,
+    perf_per_tco,
+    perf_per_watt,
+    server_tco,
+)
+
+__all__ = [
+    "CostInputs",
+    "GPU_COST",
+    "MTIA2I_COST",
+    "PlatformComparison",
+    "TcoBreakdown",
+    "compare_platforms",
+    "perf_per_tco",
+    "perf_per_watt",
+    "server_tco",
+]

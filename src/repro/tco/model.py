@@ -1,0 +1,174 @@
+"""Total Cost of Ownership model.
+
+The paper's headline result is a 44% average TCO reduction versus GPUs —
+equivalently, ~1.8x performance per TCO dollar.  TCO here follows the
+standard datacenter accounting: amortized capital expense (server cost
+over a depreciation period) plus operating expense (power at datacenter
+PUE and electricity price, plus per-kW provisioning overhead).
+
+Cost inputs are estimates from public sources (GPU street prices, typical
+hyperscaler PUE/electricity figures) and the structural fact the paper
+leans on: an in-house 100 mm^2-class ASIC without HBM costs a small
+fraction of a flagship GPU, and 24 of them share one host platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.server import ServerSpec, gpu_server, mtia2i_server
+
+
+@dataclasses.dataclass(frozen=True)
+class CostInputs:
+    """Dollar and facility parameters of the TCO model."""
+
+    accelerator_cost_usd: float
+    platform_cost_usd: float  # CPUs, DRAM, NIC, chassis, switches
+    depreciation_years: float = 4.0
+    electricity_usd_per_kwh: float = 0.08
+    pue: float = 1.1
+    # Amortized datacenter provisioning cost per watt-year (power
+    # delivery + cooling infrastructure).
+    provisioning_usd_per_watt_year: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.depreciation_years <= 0:
+            raise ValueError("depreciation period must be positive")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1")
+
+
+# Estimated build costs.  The GPU figure reflects an H100-80GB-class
+# accelerator at hyperscaler volume pricing; the MTIA figure reflects an
+# in-house 5 nm ~420 mm^2 die with LPDDR (no HBM, no interposer) at
+# production volume, including module/packaging.
+MTIA2I_COST = CostInputs(accelerator_cost_usd=2200.0, platform_cost_usd=40_000.0)
+GPU_COST = CostInputs(accelerator_cost_usd=24_000.0, platform_cost_usd=50_000.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class TcoBreakdown:
+    """Annualized TCO of one server."""
+
+    capex_per_year: float
+    energy_per_year: float
+    provisioning_per_year: float
+
+    @property
+    def total_per_year(self) -> float:
+        """Total annual cost of owning and running the server."""
+        return self.capex_per_year + self.energy_per_year + self.provisioning_per_year
+
+
+def server_tco(server: ServerSpec, costs: CostInputs, avg_power_watts: float = None) -> TcoBreakdown:
+    """Annualized TCO for one server at a given average draw.
+
+    ``avg_power_watts`` defaults to the server's typical power; the
+    provisioning term uses nameplate (rack budgets are provisioned for
+    peak — the subject of section 5.3).
+    """
+    if avg_power_watts is None:
+        avg_power_watts = server.typical_power_watts
+    capex = (
+        costs.platform_cost_usd
+        + server.accelerators_per_server * costs.accelerator_cost_usd
+    ) / costs.depreciation_years
+    hours_per_year = 8760.0
+    energy = avg_power_watts / 1000.0 * costs.pue * hours_per_year * costs.electricity_usd_per_kwh
+    provisioning = server.max_power_watts * costs.provisioning_usd_per_watt_year
+    return TcoBreakdown(
+        capex_per_year=capex,
+        energy_per_year=energy,
+        provisioning_per_year=provisioning,
+    )
+
+
+def perf_per_tco(
+    server_throughput: float, server: ServerSpec, costs: CostInputs,
+    avg_power_watts: float = None,
+) -> float:
+    """Samples/s per annual TCO dollar."""
+    breakdown = server_tco(server, costs, avg_power_watts)
+    return server_throughput / breakdown.total_per_year
+
+
+def perf_per_watt(server_throughput: float, avg_power_watts: float) -> float:
+    """Samples/s per watt of average server draw."""
+    if avg_power_watts <= 0:
+        raise ValueError("power must be positive")
+    return server_throughput / avg_power_watts
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformComparison:
+    """MTIA-vs-GPU efficiency ratios for one model."""
+
+    model_name: str
+    mtia_server_throughput: float
+    gpu_server_throughput: float
+    mtia_power_w: float
+    gpu_power_w: float
+    perf_per_tco_ratio: float
+    perf_per_watt_ratio: float
+
+    @property
+    def tco_reduction(self) -> float:
+        """Fractional TCO reduction at iso-performance (the paper's 44%)."""
+        return 1.0 - 1.0 / self.perf_per_tco_ratio if self.perf_per_tco_ratio else 0.0
+
+
+def compare_platforms(
+    model_name: str,
+    mtia_chip_throughput: float,
+    gpu_chip_throughput: float,
+    mtia_chip_power_w: float,
+    gpu_chip_power_w: float,
+    mtia_srv: ServerSpec = None,
+    gpu_srv: ServerSpec = None,
+    mtia_costs: CostInputs = MTIA2I_COST,
+    gpu_costs: CostInputs = GPU_COST,
+    mtia_accelerators_per_model: int = 1,
+    gpu_accelerators_per_model: int = 1,
+) -> PlatformComparison:
+    """Server-level Perf/TCO and Perf/Watt ratios from per-chip numbers.
+
+    ``*_accelerators_per_model`` captures sharding.  Sharding distributes
+    *capacity* (embedding tables that exceed one device's DRAM), not
+    serving: every accelerator still executes merge/remote jobs, so
+    server throughput stays chips x per-chip throughput.  What sharding
+    does cost is cross-device transfers of pooled embeddings, modelled as
+    a small per-extra-shard throughput tax.
+    """
+    mtia_srv = mtia_srv or mtia2i_server()
+    gpu_srv = gpu_srv or gpu_server()
+    mtia_shard_tax = 1.0 - 0.04 * (mtia_accelerators_per_model - 1)
+    gpu_shard_tax = 1.0 - 0.04 * (gpu_accelerators_per_model - 1)
+    mtia_server_tp = (
+        mtia_chip_throughput * mtia_srv.accelerators_per_server * max(0.5, mtia_shard_tax)
+    )
+    gpu_server_tp = (
+        gpu_chip_throughput * gpu_srv.accelerators_per_server * max(0.5, gpu_shard_tax)
+    )
+    mtia_power = (
+        mtia_srv.platform_power_watts * 0.8
+        + mtia_srv.accelerators_per_server * mtia_chip_power_w
+    )
+    gpu_power = (
+        gpu_srv.platform_power_watts * 0.8
+        + gpu_srv.accelerators_per_server * gpu_chip_power_w
+    )
+    mtia_ppt = perf_per_tco(mtia_server_tp, mtia_srv, mtia_costs, mtia_power)
+    gpu_ppt = perf_per_tco(gpu_server_tp, gpu_srv, gpu_costs, gpu_power)
+    return PlatformComparison(
+        model_name=model_name,
+        mtia_server_throughput=mtia_server_tp,
+        gpu_server_throughput=gpu_server_tp,
+        mtia_power_w=mtia_power,
+        gpu_power_w=gpu_power,
+        perf_per_tco_ratio=mtia_ppt / gpu_ppt if gpu_ppt else 0.0,
+        perf_per_watt_ratio=(
+            perf_per_watt(mtia_server_tp, mtia_power)
+            / perf_per_watt(gpu_server_tp, gpu_power)
+        ),
+    )

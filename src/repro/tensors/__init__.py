@@ -1,0 +1,45 @@
+"""Tensor descriptions (symbolic) and jagged tensors (concrete numerics)."""
+
+from repro.tensors.dtypes import DType, parse_dtype, quantize_to_bf16
+from repro.tensors.jagged import (
+    JaggedTensor,
+    jagged_dense_elementwise_add,
+    jagged_hadamard,
+    jagged_linear,
+    jagged_mean_pool,
+    jagged_softmax,
+    jagged_sum_pool,
+)
+from repro.tensors.tensor import (
+    GemmShape,
+    TensorKind,
+    TensorSpec,
+    activation,
+    concat_specs,
+    embedding_table,
+    model_input,
+    transposed,
+    weight,
+)
+
+__all__ = [
+    "DType",
+    "GemmShape",
+    "JaggedTensor",
+    "TensorKind",
+    "TensorSpec",
+    "activation",
+    "concat_specs",
+    "embedding_table",
+    "jagged_dense_elementwise_add",
+    "jagged_hadamard",
+    "jagged_linear",
+    "jagged_mean_pool",
+    "jagged_softmax",
+    "jagged_sum_pool",
+    "model_input",
+    "parse_dtype",
+    "quantize_to_bf16",
+    "transposed",
+    "weight",
+]

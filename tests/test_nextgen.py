@@ -1,0 +1,55 @@
+"""Tests for the projected next-generation MTIA (sections 8-9)."""
+
+import pytest
+
+from repro.arch import mtia2i_spec, mtia_nextgen_spec
+from repro.perf import Executor, evaluate_llm, llama2_7b
+from repro.tensors import DType
+
+
+class TestNextGenSpec:
+    def test_compute_scales(self):
+        base = mtia2i_spec(ecc_enabled=False)
+        nextgen = mtia_nextgen_spec(compute_scale=3.0)
+        # ECC derate applies to the next-gen LPDDR too; compare raw peak.
+        assert nextgen.peak_gemm_flops(DType.FP16) == pytest.approx(
+            3.0 * base.peak_gemm_flops(DType.FP16)
+        )
+
+    def test_sram_doubles(self):
+        assert mtia_nextgen_spec().sram.capacity_bytes == 2 * mtia2i_spec().sram.capacity_bytes
+
+    def test_keeps_lpddr_cost_thesis(self):
+        nextgen = mtia_nextgen_spec()
+        # Next-gen LPDDR, not HBM: bandwidth stays well under 1 TB/s.
+        assert nextgen.dram.bandwidth_bytes_per_s < 1e12
+        assert not nextgen.dram_has_native_ecc
+        # ECC stays enabled by default.
+        assert nextgen.dram.bandwidth_bytes_per_s < 360e9
+
+    def test_power_grows_sublinearly_with_compute(self):
+        base, nextgen = mtia2i_spec(), mtia_nextgen_spec()
+        assert nextgen.tdp_watts < 3 * base.tdp_watts
+
+    def test_executor_runs_on_nextgen(self):
+        import dataclasses
+
+        from repro.models.dlrm import build_dlrm, small_dlrm
+
+        graph = build_dlrm(dataclasses.replace(small_dlrm(), batch=512))
+        report = Executor(mtia_nextgen_spec()).run(graph, 512, warmup_runs=1)
+        assert report.throughput_samples_per_s > 0
+
+    def test_nextgen_brings_7b_decode_to_the_edge(self):
+        """The LPDDR-next projection (~360 GB/s) pulls Llama2-7B decode
+        just under the 60 ms bar — small-LLM serving becomes borderline
+        viable without abandoning the no-HBM cost thesis — while
+        70B-class models remain far out of reach."""
+        from repro.perf import llama3_70b
+
+        small = evaluate_llm(llama2_7b(), mtia_nextgen_spec())
+        assert small.prefill_meets_ttft
+        assert small.decode_meets_latency
+        assert 0.5 <= small.decode_latency_s / 0.060 <= 1.0  # barely under
+        big = evaluate_llm(llama3_70b(), mtia_nextgen_spec())
+        assert not big.viable

@@ -1,0 +1,197 @@
+"""Tests for the NoC: shaping, fragmentation, fabric contention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import (
+    Flow,
+    LeakyBucketShaper,
+    NocFabric,
+    Packet,
+    fragment,
+    mtia_fabric,
+    smoothness,
+)
+
+
+class TestShaper:
+    def test_within_burst_departs_immediately(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e9, burst_bytes=4096)
+        assert shaper.departure_time(Packet(0.0, 1024)) == 0.0
+
+    def test_burst_exhaustion_delays(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=1000)
+        assert shaper.departure_time(Packet(0.0, 1000)) == 0.0
+        second = shaper.departure_time(Packet(0.0, 1000))
+        assert second == pytest.approx(1000 / 1e6)
+
+    def test_tokens_refill_over_time(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=1000)
+        shaper.departure_time(Packet(0.0, 1000))
+        # After 1 ms the bucket has refilled fully.
+        assert shaper.departure_time(Packet(1e-3, 1000)) == pytest.approx(1e-3)
+
+    def test_sustained_rate_enforced(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=1000)
+        packets = [Packet(0.0, 1000) for _ in range(10)]
+        departures = shaper.shape(packets)
+        # 10 KB at 1 MB/s: last departure near 9 ms.
+        assert departures[-1] == pytest.approx(9e-3, rel=0.01)
+
+    def test_oversized_packet_rejected(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=1000)
+        with pytest.raises(ValueError):
+            shaper.departure_time(Packet(0.0, 2000))
+
+    def test_out_of_order_rejected(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=4096)
+        shaper.departure_time(Packet(1.0, 100))
+        with pytest.raises(ValueError):
+            shaper.departure_time(Packet(0.5, 100))
+
+    def test_shaping_smooths_bursts(self):
+        shaper = LeakyBucketShaper(rate_bytes_per_s=1e6, burst_bytes=1024)
+        burst = [Packet(0.0, 1024) for _ in range(50)]
+        departures = shaper.shape(burst)
+        # Arrivals are all at t=0 (infinitely bursty); departures spread.
+        assert smoothness(departures, window_s=1e-3) < 5.0
+        assert max(departures) > 0.04
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1024), min_size=1, max_size=100),
+    rate=st.floats(min_value=1e5, max_value=1e9),
+)
+@settings(max_examples=50, deadline=None)
+def test_shaper_never_exceeds_sustained_rate(sizes, rate):
+    """Property: over any window starting at 0, departed bytes never
+    exceed burst + rate * time."""
+    burst = 2048
+    shaper = LeakyBucketShaper(rate_bytes_per_s=rate, burst_bytes=burst)
+    packets = [Packet(0.0, s) for s in sizes]
+    departures = shaper.shape(packets)
+    events = sorted(zip(departures, sizes))
+    sent = 0
+    for t, size in events:
+        sent += size
+        assert sent <= burst + rate * t + 1e-6 * rate + size
+
+
+class TestFragmentation:
+    def test_single_fragment(self):
+        result = fragment(1000, max_fragment_bytes=4096, header_bytes=16)
+        assert len(result.fragments) == 1
+        assert result.wire_bytes == 1016
+
+    def test_multiple_fragments(self):
+        result = fragment(10_000, max_fragment_bytes=4096, header_bytes=16)
+        payload_per = 4096 - 16
+        assert len(result.fragments) == -(-10_000 // payload_per)
+        assert result.payload_bytes == 10_000
+        assert result.header_overhead_bytes == len(result.fragments) * 16
+
+    def test_fragments_bounded(self):
+        result = fragment(100_000)
+        assert all(f.size_bytes <= 4096 for f in result.fragments)
+
+    def test_zero_transfer(self):
+        result = fragment(0)
+        assert not result.fragments
+        assert result.overhead_fraction == 0.0
+
+    def test_overhead_fraction_small(self):
+        result = fragment(1_000_000)
+        assert result.overhead_fraction < 0.01
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fragment(-1)
+        with pytest.raises(ValueError):
+            fragment(100, max_fragment_bytes=8, header_bytes=16)
+
+
+class TestFabric:
+    def _fabric(self):
+        return NocFabric(
+            aggregate_bandwidth=100e9,
+            port_bandwidths={"sram": 100e9, "dram": 20e9},
+            default_port_bandwidth=10e9,
+        )
+
+    def test_single_flow_limited_by_port(self):
+        fabric = self._fabric()
+        rates = fabric.fair_rates([Flow("sram", "pe0", 1e6)])
+        assert rates[0] == pytest.approx(10e9)  # pe0 port binds
+
+    def test_two_flows_share_destination(self):
+        fabric = self._fabric()
+        rates = fabric.fair_rates(
+            [Flow("sram", "pe0", 1e6), Flow("dram", "pe0", 1e6)]
+        )
+        assert rates[0] == pytest.approx(5e9)
+        assert rates[1] == pytest.approx(5e9)
+
+    def test_independent_flows_get_full_ports(self):
+        fabric = self._fabric()
+        rates = fabric.fair_rates(
+            [Flow("sram", "pe0", 1e6), Flow("sram", "pe1", 1e6)]
+        )
+        assert rates[0] == pytest.approx(10e9)
+        assert rates[1] == pytest.approx(10e9)
+
+    def test_aggregate_cap(self):
+        fabric = NocFabric(
+            aggregate_bandwidth=15e9,
+            port_bandwidths={},
+            default_port_bandwidth=10e9,
+        )
+        rates = fabric.fair_rates(
+            [Flow("a", "b", 1e6), Flow("c", "d", 1e6)]
+        )
+        assert sum(rates) <= 15e9 * 1.001
+
+    def test_transfer_time(self):
+        fabric = self._fabric()
+        t = fabric.transfer_time([Flow("sram", "pe0", 10e9)])
+        assert t == pytest.approx(1.0)
+
+    def test_empty_flows(self):
+        assert self._fabric().transfer_time([]) == 0.0
+
+    def test_broadcast_read_savings(self):
+        fabric = self._fabric()
+        with_hw = fabric.broadcast_read_bytes(1e6, 8, hardware_broadcast=True)
+        without = fabric.broadcast_read_bytes(1e6, 8, hardware_broadcast=False)
+        assert without == 8 * with_hw
+
+    def test_mtia_fabric_endpoints(self):
+        fabric = mtia_fabric(2.64e12, num_pes=64, pe_port_bandwidth=64e9)
+        rates = fabric.fair_rates([Flow("sram", "pe63", 1e6)])
+        assert rates[0] == pytest.approx(64e9)
+
+
+@given(
+    num_flows=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_fair_rates_respect_all_capacities(num_flows):
+    """Property: no port or the aggregate is ever oversubscribed."""
+    fabric = NocFabric(
+        aggregate_bandwidth=50e9,
+        port_bandwidths={"sram": 40e9},
+        default_port_bandwidth=8e9,
+    )
+    flows = [Flow("sram", f"pe{i % 3}", 1e6) for i in range(num_flows)]
+    rates = fabric.fair_rates(flows)
+    assert sum(rates) <= 50e9 * 1.001
+    from collections import defaultdict
+
+    per_dst = defaultdict(float)
+    src_total = 0.0
+    for flow, rate in zip(flows, rates):
+        per_dst[flow.dst] += rate
+        src_total += rate
+    assert src_total <= 40e9 * 1.001
+    for dst, total in per_dst.items():
+        assert total <= 8e9 * 1.001

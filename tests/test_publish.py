@@ -1,0 +1,62 @@
+"""Tests for the model-publish pipeline (paper section 5.6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Mtia2iSystem, publish_model
+from repro.models.dlrm import DlrmConfig, EmbeddingBagConfig, build_dlrm, small_dlrm
+
+
+def _small_builder():
+    config = small_dlrm()
+    return lambda batch: build_dlrm(dataclasses.replace(config, batch=batch))
+
+
+def _big_fc_builder():
+    config = DlrmConfig(
+        name="bigfc",
+        batch=2048,
+        num_dense_features=4096,
+        bottom_mlp_dims=(4096, 4096),
+        top_mlp_dims=(4096, 4096),
+        embeddings=(EmbeddingBagConfig(8, 1_000_000, 128, 8),),
+    )
+    return lambda batch: build_dlrm(dataclasses.replace(config, batch=batch))
+
+
+class TestPublish:
+    def test_small_model_publishes_without_quantization(self):
+        """Section 4.4: for low-usage / small-FC models the quantization
+        effort is not justified — the pipeline skips it."""
+        published = publish_model(_small_builder(), model_name="small")
+        assert not published.quantization_adopted
+        assert published.launch_approved
+        assert published.mtia_throughput > 0
+        assert published.gpu_report.batch == published.mtia.autotune.batch
+
+    def test_large_fc_model_adopts_quantization(self):
+        """Models dominated by large FCs clear the cost/benefit bar."""
+        published = publish_model(_big_fc_builder(), model_name="bigfc")
+        assert published.quantization_adopted
+        assert len(published.quantization.quantized_layers) >= 2
+        assert published.quantization.end_to_end_speedup > 1.05
+
+    def test_quantized_path_still_passes_quality_gate(self):
+        """Row-wise dynamic INT8 keeps quality parity (section 4.4)."""
+        published = publish_model(_big_fc_builder(), model_name="bigfc")
+        assert published.launch_approved
+        assert abs(published.ab_result.ne_delta) < 0.01
+
+    def test_shared_system_reuses_kernel_database(self):
+        system = Mtia2iSystem()
+        publish_model(_small_builder(), model_name="first", mtia_system=system)
+        populated = len(system.kernel_database)
+        publish_model(_small_builder(), model_name="second", mtia_system=system)
+        assert len(system.kernel_database) >= populated
+
+    def test_threshold_controls_adoption(self):
+        published = publish_model(
+            _big_fc_builder(), model_name="bigfc", quantization_threshold=10.0
+        )
+        assert not published.quantization_adopted

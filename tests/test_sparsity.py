@@ -1,0 +1,96 @@
+"""Tests for 2:4 structured sparsity (paper section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    natural_sparsity,
+    prune_2_4,
+    satisfies_2_4,
+    sparse_trained_weights,
+    sparsity_impact,
+)
+
+
+class TestPruning:
+    def test_pattern_enforced(self):
+        rng = np.random.default_rng(0)
+        pruned = prune_2_4(rng.normal(size=(64, 32)))
+        assert satisfies_2_4(pruned)
+
+    def test_exactly_half_zeroed(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(128, 16))
+        pruned = prune_2_4(w)
+        assert np.count_nonzero(pruned) == w.size // 2
+
+    def test_keeps_largest_magnitudes(self):
+        w = np.array([[1.0], [0.1], [2.0], [0.2]])
+        pruned = prune_2_4(w)
+        np.testing.assert_array_equal(pruned[:, 0], [1.0, 0.0, 2.0, 0.0])
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        once = prune_2_4(rng.normal(size=(32, 8)))
+        np.testing.assert_array_equal(prune_2_4(once), once)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prune_2_4(np.zeros(8))
+        with pytest.raises(ValueError):
+            prune_2_4(np.zeros((6, 4)))  # input dim not multiple of 4
+
+    def test_satisfies_rejects_dense(self):
+        assert not satisfies_2_4(np.ones((8, 4)))
+
+
+class TestImpact:
+    def test_dense_trained_weights_degrade(self):
+        """The paper's finding: DLRM weights lack natural sparsity, so
+        pruning costs quality."""
+        rng = np.random.default_rng(3)
+        impact = sparsity_impact(rng.normal(0, 0.05, size=(512, 128)))
+        assert impact.natural_sparsity < 0.1
+        assert impact.relative_output_error > 0.1
+        assert not impact.acceptable()
+
+    def test_sparse_trained_weights_prune_cheaply(self):
+        impact = sparsity_impact(sparse_trained_weights(512, 128))
+        assert impact.natural_sparsity > 0.5
+        assert impact.relative_output_error < 0.1
+
+    def test_pruned_mass_tracks_error(self):
+        rng = np.random.default_rng(4)
+        dense = sparsity_impact(rng.normal(size=(256, 64)))
+        sparse = sparsity_impact(sparse_trained_weights(256, 64))
+        assert dense.pruned_mass_fraction > sparse.pruned_mass_fraction
+
+    def test_natural_sparsity_of_zero_matrix(self):
+        assert natural_sparsity(np.zeros((8, 4))) == 1.0
+
+
+@given(
+    k_groups=st.integers(min_value=1, max_value=32),
+    n=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_prune_2_4_properties(k_groups, n, seed):
+    """Properties: pattern holds, surviving entries are unchanged, and
+    the dropped entries never out-magnitude the kept ones in a group."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(4 * k_groups, n))
+    pruned = prune_2_4(w)
+    assert satisfies_2_4(pruned)
+    kept = pruned != 0
+    np.testing.assert_array_equal(pruned[kept], w[kept])
+    grouped_w = np.abs(w).reshape(k_groups, 4, n)
+    grouped_p = pruned.reshape(k_groups, 4, n)
+    for g in range(k_groups):
+        for c in range(n):
+            kept_vals = np.abs(grouped_p[g, :, c][grouped_p[g, :, c] != 0])
+            dropped = grouped_w[g, :, c][grouped_p[g, :, c] == 0]
+            if kept_vals.size and dropped.size:
+                assert kept_vals.min() >= dropped.max() - 1e-12

@@ -1,0 +1,41 @@
+"""Tests for unit constants and formatters."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_prefixes():
+    assert units.KiB == 1024
+    assert units.MiB == 1024 ** 2
+    assert units.GiB == 1024 ** 3
+
+
+def test_decimal_prefixes():
+    assert units.GB == 10 ** 9
+    assert units.TB == 10 ** 12
+
+
+def test_fmt_bytes_scales():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2048) == "2 KiB"
+    assert "MiB" in units.fmt_bytes(256 * units.MiB)
+    assert "GiB" in units.fmt_bytes(8 * units.GiB)
+
+
+def test_fmt_bandwidth_scales():
+    assert "GB/s" in units.fmt_bandwidth(204.8 * units.GB)
+    assert "TB/s" in units.fmt_bandwidth(2.7 * units.TB)
+
+
+def test_fmt_time_ranges():
+    assert units.fmt_time(0) == "0 s"
+    assert "ns" in units.fmt_time(5e-9)
+    assert "us" in units.fmt_time(5e-6)
+    assert "ms" in units.fmt_time(5e-3)
+    assert units.fmt_time(2.0) == "2 s"
+
+
+def test_fmt_flops():
+    assert "TFLOP/s" in units.fmt_flops(177e12)
+    assert "GFLOP/s" in units.fmt_flops(2e9)

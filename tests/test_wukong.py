@@ -1,0 +1,57 @@
+"""Tests for the Wukong scaling-family builder (paper section 2)."""
+
+import pytest
+
+from repro.models import WukongConfig, build_wukong, scaling_sweep
+
+
+class TestWukongConfig:
+    def test_scale_one_baseline(self):
+        config = WukongConfig(scale=1.0)
+        assert config.hidden_dim == 1024
+        assert config.num_layers == 4
+
+    def test_dimensions_grow_together(self):
+        small, big = WukongConfig(scale=1.0), WukongConfig(scale=16.0)
+        assert big.hidden_dim > small.hidden_dim
+        assert big.num_layers > small.num_layers
+        assert big.embedding_gib > small.embedding_gib
+        assert big.num_tables > small.num_tables
+
+    def test_hidden_dim_aligned(self):
+        for scale in (1, 2, 5, 13, 64):
+            assert WukongConfig(scale=scale).hidden_dim % 256 == 0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            WukongConfig(scale=0)
+
+    def test_to_dhen_round_trips_name(self):
+        config = WukongConfig(scale=4.0)
+        assert "x4" in config.to_dhen().name
+
+
+class TestWukongScaling:
+    def test_sweep_spans_two_orders(self):
+        """Section 2: scaling across two orders of magnitude, >60x spread."""
+        configs = scaling_sweep(scales=(1.0, 64.0))
+        flops = [
+            build_wukong(c).flops_per_sample(c.batch) for c in configs
+        ]
+        assert flops[1] / flops[0] > 60
+
+    def test_flops_roughly_linear_in_scale(self):
+        configs = scaling_sweep(scales=(1.0, 4.0, 16.0))
+        flops = [build_wukong(c).flops_per_sample(c.batch) for c in configs]
+        # Each 4x scale step multiplies FLOPs by roughly 4-8x (width^2
+        # grows 4x, depth adds a bit more).
+        for smaller, larger in zip(flops, flops[1:]):
+            assert 3.0 <= larger / smaller <= 9.0
+
+    def test_graphs_valid(self):
+        for config in scaling_sweep(scales=(1.0, 4.0)):
+            build_wukong(config).validate_schedule()
+
+    def test_embeddings_dominate_at_scale(self):
+        graph = build_wukong(WukongConfig(scale=16.0))
+        assert graph.embedding_bytes() / graph.weight_bytes() > 0.9
