@@ -1,0 +1,67 @@
+"""The section 5.5 incident, replayed end to end (fleet resilience).
+
+A 300-device serving pool runs for 90 days while a firmware bug wedges
+~0.1% of devices per day over PCIe.  Two arms share the exact same
+seeded fault schedule:
+
+* **baseline** — no mitigation: wedged devices stay in rotation, goodput
+  bleeds away until the pool's tail latency trips ``slo_at_risk``;
+* **mitigated** — retries with backoff, hedged dispatch, and load
+  shedding hold goodput while the SLO trip triggers an emergency
+  firmware rollout (restart waves capped by the concurrency limit) that
+  patches the fleet in ~3 hours, after which goodput recovers.
+
+Run:  python examples/resilience_drill.py
+"""
+
+from repro.resilience import EventKind, run_section_55_drill
+
+
+def sparkline(values, width=60):
+    """Render a series as a one-line unicode sparkline."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    sampled = values[::step]
+    lo, hi = min(sampled), max(sampled)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[1 + int((v - lo) / span * 7)] for v in sampled)
+
+
+def main() -> None:
+    print("running both arms of the section 5.5 drill (~3 s)...\n")
+    drill = run_section_55_drill(seed=0)
+
+    print(drill.summary())
+
+    print("\ngoodput over the 90-day window (baseline vs mitigated):")
+    print(f"  baseline  |{sparkline(drill.baseline.goodput_series)}|")
+    print(f"  mitigated |{sparkline(drill.mitigated.goodput_series)}|")
+
+    print("\nP99 latency, mitigated arm (retries absorb the wedges until "
+          "the rollout lands):")
+    print(f"  p99       |{sparkline(drill.mitigated.p99_series)}|")
+
+    print("\nincident timeline (mitigated arm, pool-level events):")
+    marks = drill.mitigated.events.of_kind(
+        EventKind.SLO_AT_RISK,
+        EventKind.ROLLOUT_TRIGGERED,
+        EventKind.ROLLOUT_DONE,
+    )
+    first_waves = drill.mitigated.events.of_kind(EventKind.ROLLOUT_WAVE)[:3]
+    for event in sorted(marks + first_waves, key=lambda e: e.time_s):
+        detail = " ".join(f"{k}={v:g}" for k, v in sorted(event.detail.items()))
+        print(f"  day {event.time_s / 86_400.0:6.2f}  {event.kind.value:18} {detail}")
+
+    wedges = drill.baseline.events.of_kind(EventKind.FAULT_DEADLOCK)
+    print(f"\n{len(wedges)} devices wedged over the window "
+          f"(~{len(wedges) / 90 / drill.config.devices:.2%}/device-day; "
+          f"paper: ~0.1%/day).")
+    print(f"unavailability: baseline "
+          f"{drill.baseline.unavailability_device_minutes:,.0f} device-minutes, "
+          f"mitigated {drill.mitigated.unavailability_device_minutes:,.0f}.")
+    print(f"recovered to >=99% of baseline goodput by window end: "
+          f"{drill.recovered}")
+
+
+if __name__ == "__main__":
+    main()

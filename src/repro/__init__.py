@@ -5,7 +5,8 @@ memory hierarchy (Local Memory / partitioned SRAM / LPDDR), NoC, and
 engines — alongside synthetic DLRM/DHEN/HSTU workloads, the model-chip
 co-design machinery (graph passes, autotuning), a serving simulator, and
 the productionization studies the paper reports (memory errors and ECC,
-overclocking, power provisioning, firmware rollouts, A/B testing).
+overclocking, power provisioning, firmware rollouts, A/B testing), and a
+fleet resilience simulator that replays the section 5.5 incident arc.
 
 Quick start::
 
@@ -33,6 +34,7 @@ from repro.core import (
 from repro.graph import OpGraph
 from repro.models import figure6_models, small_dlrm, table1_models
 from repro.perf import ExecutionReport, Executor, evaluate_llm, llama2_7b, llama3_8b
+from repro.resilience import run_resilience, run_section_55_drill
 from repro.tco import compare_platforms
 
 __version__ = "1.0.0"
@@ -55,6 +57,8 @@ __all__ = [
     "mtia2i_spec",
     "optimize_graph",
     "run_case_study",
+    "run_resilience",
+    "run_section_55_drill",
     "small_dlrm",
     "spec_ratio",
     "table1_models",

@@ -47,6 +47,7 @@ __all__ = [
     "gpu_spec",
     "grand_teton_socket",
     "mtia1_spec",
+    "mtia2i_server",
     "mtia2i_spec",
     "mtia_nextgen_spec",
     "spec_ratio",

@@ -18,7 +18,7 @@ import dataclasses
 
 from repro.arch.mtia import mtia2i_spec
 from repro.arch.specs import ChipSpec, GemmEngineSpec, MemoryLevelSpec, VectorEngineSpec
-from repro.units import GB, GiB, MiB, TB
+from repro.units import GB, GiB, MiB
 
 
 def mtia_nextgen_spec(

@@ -7,6 +7,7 @@ Commands:
 * ``llm``        — LLM prefill/decode feasibility (sections 3.6/8)
 * ``casestudy``  — replay the Figure 4 optimization journey
 * ``trace``      — execute a zoo model and write a Chrome trace JSON
+* ``resilience`` — run the section 5.5 fleet-resilience drill
 """
 
 from __future__ import annotations
@@ -107,6 +108,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.resilience import run_section_55_drill, write_resilience_trace
+    from repro.resilience.events import EventKind
+
+    drill = run_section_55_drill(
+        devices=args.devices,
+        duration_days=args.days,
+        utilization=args.utilization,
+        seed=args.seed,
+    )
+    print(drill.summary())
+    if args.timeline:
+        marks = drill.mitigated.events.of_kind(
+            EventKind.SLO_AT_RISK,
+            EventKind.ROLLOUT_TRIGGERED,
+            EventKind.ROLLOUT_WAVE,
+            EventKind.ROLLOUT_DONE,
+            EventKind.LOAD_SHED,
+        )
+        print("\nmitigated-run timeline (pool events):")
+        for event in marks:
+            detail = " ".join(f"{k}={v:g}" for k, v in sorted(event.detail.items()))
+            print(f"  day {event.time_s / 86_400.0:6.2f}  {event.kind.value:18} {detail}")
+    if args.trace:
+        write_resilience_trace(drill.mitigated, args.trace)
+        print(f"\nwrote {args.trace} (open in Perfetto or chrome://tracing)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -137,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chip", choices=sorted(_CHIPS), default="mtia2i")
     trace.add_argument("--out", default="trace.json")
     trace.set_defaults(func=cmd_trace)
+
+    resilience = sub.add_parser(
+        "resilience", help="run the section 5.5 fleet-resilience drill"
+    )
+    resilience.add_argument("--devices", type=int, default=300)
+    resilience.add_argument("--days", type=float, default=90.0)
+    resilience.add_argument("--utilization", type=float, default=0.85)
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument("--timeline", action="store_true",
+                            help="print the mitigated run's pool events")
+    resilience.add_argument("--trace", default=None, metavar="PATH",
+                            help="write the mitigated run as a Chrome trace")
+    resilience.set_defaults(func=cmd_resilience)
     return parser
 
 

@@ -16,7 +16,7 @@ whether the numerics pass the A/B quality gate before traffic shifts.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 

@@ -87,6 +87,7 @@ def production_utilization(
     peak_to_mean: float = 2.2,
     rng: Optional[np.random.Generator] = None,
     num_intervals: int = 2000,
+    seed: int = 42,
 ) -> UtilizationResult:
     """Average device utilization when capacity is provisioned for peak.
 
@@ -97,10 +98,15 @@ def production_utilization(
     quantum relative to the load, the worse the rounding and buffering
     waste.  This is section 5.4's 'smaller chips' argument made
     quantitative.
+
+    Randomness is reproducible: pass either a ``seed`` or an explicit
+    ``rng`` (which wins when both are given); the default matches the
+    historical behaviour (``default_rng(42)``).
     """
     if device_throughput <= 0 or mean_load <= 0 or peak_to_mean < 1:
         raise ValueError("invalid utilization inputs")
-    rng = rng or np.random.default_rng(42)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     # Diurnal load curve with noise.
     t = np.linspace(0, 2 * np.pi, num_intervals)
     swing = (peak_to_mean - 1.0) / (peak_to_mean + 1.0)
@@ -121,15 +127,17 @@ def production_gain(
     gpu_chip_throughput: float,
     mean_load: float,
     peak_to_mean: float = 2.2,
+    seed: int = 42,
 ) -> float:
     """Extra MTIA-vs-GPU efficiency in production versus replay.
 
     Both platforms serve the same load; the one with the smaller device
     quantum wastes less provisioned capacity.  Returns the ratio of mean
-    utilizations (MTIA / GPU) — the paper observed 1.05x to 1.9x.
+    utilizations (MTIA / GPU) — the paper observed 1.05x to 1.9x.  Both
+    platforms see the same ``seed``-derived load curve.
     """
-    mtia = production_utilization(mtia_chip_throughput, mean_load, peak_to_mean)
-    gpu = production_utilization(gpu_chip_throughput, mean_load, peak_to_mean)
+    mtia = production_utilization(mtia_chip_throughput, mean_load, peak_to_mean, seed=seed)
+    gpu = production_utilization(gpu_chip_throughput, mean_load, peak_to_mean, seed=seed)
     if gpu.mean_utilization == 0:
         return 1.0
     return mtia.mean_utilization / gpu.mean_utilization

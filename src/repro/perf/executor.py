@@ -383,7 +383,6 @@ class Executor:
     def _profile_op(self, op, estimate, traffic) -> OpProfile:
         chip = self.chip
         compute_s = estimate.compute_s / chip.sustained_gemm_fraction
-        engine_s = max(compute_s, estimate.issue_s, estimate.local_memory_s)
         dram_eff = DRAM_EFFICIENCY_PREFETCH if estimate.prefetch else DRAM_EFFICIENCY_DEMAND
         dram_s = traffic.dram_bytes / (chip.dram.bandwidth_bytes_per_s * dram_eff)
         sram_s = traffic.sram_bytes / chip.sram.bandwidth_bytes_per_s

@@ -27,6 +27,35 @@ _LANES = {
 }
 
 
+def trace_metadata(process_name: str, lanes: Dict[str, int], pid: int = 0) -> List[Dict]:
+    """Chrome-trace metadata events naming a process and its lanes.
+
+    Shared by the executor trace below and the fleet-resilience trace
+    (:mod:`repro.resilience.trace`): any timeline that wants to render in
+    Perfetto builds its lane naming through this helper.
+    """
+    metadata: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": process_name}}
+    ]
+    metadata.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for label, tid in lanes.items()
+    )
+    return metadata
+
+
+def write_trace_json(document: Dict, path: str) -> None:
+    """Write any Chrome trace-event document to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+
+
 def to_chrome_trace(report: ExecutionReport) -> Dict:
     """Build a Chrome trace-event JSON object from a report.
 
@@ -63,23 +92,9 @@ def to_chrome_trace(report: ExecutionReport) -> Dict:
             }
         )
         cursor_us += duration_us
-    metadata = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "args": {"name": f"{report.chip_name}: {report.model_name}"},
-        }
-    ]
-    metadata.extend(
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": tid,
-            "args": {"name": f"bottleneck: {lane}"},
-        }
-        for lane, tid in _LANES.items()
+    metadata = trace_metadata(
+        f"{report.chip_name}: {report.model_name}",
+        {f"bottleneck: {lane}": tid for lane, tid in _LANES.items()},
     )
     return {
         "traceEvents": metadata + events,
@@ -99,8 +114,7 @@ def to_chrome_trace(report: ExecutionReport) -> Dict:
 def write_chrome_trace(report: ExecutionReport, path: str) -> None:
     """Write the trace JSON to ``path`` (open it in Perfetto or
     chrome://tracing)."""
-    with open(path, "w") as handle:
-        json.dump(to_chrome_trace(report), handle, indent=1)
+    write_trace_json(to_chrome_trace(report), path)
 
 
 def summarize_trace(report: ExecutionReport, top: int = 5) -> str:

@@ -194,6 +194,27 @@ class RolloutPlan:
         """Wall time in days."""
         return self.total_hours / 24.0
 
+    def restart_wave_size(self, fleet_devices: int) -> int:
+        """Devices one restart wave may take down concurrently."""
+        if fleet_devices <= 0:
+            raise ValueError("fleet must be non-empty")
+        return max(1, int(self.max_concurrent_restart_fraction * fleet_devices))
+
+    def restart_waves(self, fleet_devices: int) -> List[int]:
+        """Wave sizes covering the whole fleet under the concurrency cap.
+
+        This is the schedule the resilience simulator executes: each
+        wave restarts at most ``max_concurrent_restart_fraction`` of the
+        fleet, waves are ``restart_minutes`` apart, and the sum covers
+        every device exactly once.
+        """
+        wave = self.restart_wave_size(fleet_devices)
+        full, remainder = divmod(fleet_devices, wave)
+        waves = [wave] * full
+        if remainder:
+            waves.append(remainder)
+        return waves
+
 
 def typical_rollout() -> RolloutPlan:
     """The standard 18-day incremental rollout."""

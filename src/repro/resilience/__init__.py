@@ -1,0 +1,86 @@
+"""Fleet resilience: time-domain fault injection, recovery policies, and
+graceful degradation across the serving tier.
+
+Where :mod:`repro.reliability` computes the section 5 studies as point
+estimates and :mod:`repro.serving.faults` removes a fixed fraction of
+devices once, this package closes the loop over *time*: a seeded
+discrete-event simulator in which faults drawn from the reliability
+models land on a serving pool, devices walk an explicit lifecycle
+(HEALTHY -> DEGRADED -> WEDGED -> DRAINING -> REBOOTING -> HEALTHY),
+recovery policies fight back, and an emergency firmware rollout can
+patch the fleet mid-window — reproducing the paper's section 5.5 arc as
+one closed system.
+"""
+
+from repro.resilience.device import (
+    Device,
+    DeviceState,
+    TransitionError,
+    downed_device_minutes,
+    pool_summary,
+)
+from repro.resilience.events import Event, EventKind, EventLog
+from repro.resilience.faults import (
+    FAULT_FAMILIES,
+    FaultRates,
+    fault_rates_from_reliability,
+    presample_fault_arrivals,
+)
+from repro.resilience.metrics import (
+    IntervalMetrics,
+    ResilienceReport,
+    evaluate_interval,
+)
+from repro.resilience.policies import (
+    DrainPolicy,
+    HedgePolicy,
+    LoadShedPolicy,
+    ResiliencePolicies,
+    RetryPolicy,
+    RolloutPolicy,
+)
+from repro.resilience.scenario import (
+    DrillResult,
+    run_section_55_drill,
+    section_55_policies,
+)
+from repro.resilience.simulator import (
+    ResilienceConfig,
+    ResilienceSimulator,
+    calibrate_base_latency,
+    run_resilience,
+)
+from repro.resilience.trace import to_resilience_trace, write_resilience_trace
+
+__all__ = [
+    "Device",
+    "DeviceState",
+    "DrainPolicy",
+    "DrillResult",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FAULT_FAMILIES",
+    "FaultRates",
+    "HedgePolicy",
+    "IntervalMetrics",
+    "LoadShedPolicy",
+    "ResilienceConfig",
+    "ResiliencePolicies",
+    "ResilienceReport",
+    "ResilienceSimulator",
+    "RetryPolicy",
+    "RolloutPolicy",
+    "TransitionError",
+    "calibrate_base_latency",
+    "downed_device_minutes",
+    "evaluate_interval",
+    "fault_rates_from_reliability",
+    "pool_summary",
+    "presample_fault_arrivals",
+    "run_resilience",
+    "run_section_55_drill",
+    "section_55_policies",
+    "to_resilience_trace",
+    "write_resilience_trace",
+]

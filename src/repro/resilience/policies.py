@@ -1,0 +1,190 @@
+"""Recovery policies: how the serving tier fights back.
+
+Four independently-toggleable mechanisms, mirroring what a production
+serving stack layers over a fleet with the paper's fault profile:
+
+* :class:`RetryPolicy` — per-request timeout with capped exponential
+  backoff and deterministic jitter; bounds the damage of requests routed
+  to a silently-wedged replica.
+* :class:`HedgePolicy` — after a latency budget expires, re-dispatch the
+  request to a second replica and take the first response; converts a
+  full timeout into a small latency bump at the cost of extra attempts.
+* :class:`DrainPolicy` — periodic health checks; after N consecutive
+  failures the device is drained from rotation and rebooted with an
+  MTTR drawn from a log-normal (reboots are mostly ~10 minutes with a
+  long tail of stuck hosts).
+* :class:`LoadShedPolicy` — past a utilization ceiling the tier sheds
+  excess load rather than queue into SLO collapse (the headroom
+  arithmetic of :mod:`repro.serving.faults` made operational).
+
+:class:`RolloutPolicy` ties the loop closed: when the pool's
+``slo_at_risk`` signal trips, an emergency firmware rollout
+(:func:`repro.reliability.firmware.emergency_rollout`) patches the
+fleet wave-by-wave under its restart-concurrency limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.reliability.firmware import RolloutPlan, emergency_rollout
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + exponential backoff with jitter."""
+
+    timeout_s: float = 1.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 1.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0 or self.max_attempts < 1:
+            raise ValueError("need a positive timeout and at least one attempt")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not (0 <= self.jitter_fraction <= 1):
+            raise ValueError("jitter fraction must be in [0, 1]")
+
+    def backoff_s(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Sleep before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
+        )
+        if rng is None or self.jitter_fraction == 0:
+            return base
+        # Full-jitter variant: uniform in [base*(1-j), base].
+        return base * (1.0 - self.jitter_fraction * float(rng.uniform()))
+
+    def worst_case_added_latency_s(self, attempts: int) -> float:
+        """Latency a request pays if its first ``attempts - 1`` tries all
+        time out (no jitter; the pessimistic bound used for P99)."""
+        total = 0.0
+        for retry in range(1, attempts):
+            total += self.timeout_s + self.backoff_s(retry)
+        return total
+
+
+@dataclasses.dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative re-dispatch after a latency budget."""
+
+    enabled: bool = False
+    hedge_after_s: float = 0.05
+    # Fraction of *healthy* requests that still trip the hedge budget
+    # (tail latency), adding background attempt amplification.
+    false_hedge_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.hedge_after_s <= 0:
+            raise ValueError("hedge budget must be positive")
+        if not (0 <= self.false_hedge_fraction <= 1):
+            raise ValueError("false-hedge fraction must be in [0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class DrainPolicy:
+    """Health-check-driven drain/quarantine with MTTR-distributed reboot."""
+
+    health_check_interval_s: float = 60.0
+    failures_to_drain: int = 3
+    drain_grace_s: float = 30.0
+    reboot_mttr_s: float = 600.0
+    reboot_sigma: float = 0.35  # log-normal shape: mostly ~MTTR, long tail
+
+    def __post_init__(self) -> None:
+        if self.health_check_interval_s <= 0:
+            raise ValueError("health-check interval must be positive")
+        if self.failures_to_drain < 1:
+            raise ValueError("need at least one failure to drain")
+        if self.drain_grace_s < 0 or self.reboot_mttr_s <= 0:
+            raise ValueError("drain grace must be >= 0 and MTTR > 0")
+        if self.reboot_sigma < 0:
+            raise ValueError("reboot sigma must be non-negative")
+
+    def sample_reboot_s(self, rng: np.random.Generator) -> float:
+        """One reboot duration: log-normal with mean ~``reboot_mttr_s``."""
+        if self.reboot_sigma == 0:
+            return self.reboot_mttr_s
+        mu = np.log(self.reboot_mttr_s) - 0.5 * self.reboot_sigma**2
+        return float(rng.lognormal(mu, self.reboot_sigma))
+
+    def detection_latency_s(self) -> float:
+        """Expected wall time from wedge to drain decision."""
+        return self.health_check_interval_s * self.failures_to_drain
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadShedPolicy:
+    """Shed offered load past a utilization ceiling."""
+
+    enabled: bool = True
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not (0 < self.max_utilization <= 1):
+            raise ValueError("utilization ceiling must be in (0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class RolloutPolicy:
+    """Fire an emergency firmware rollout when the SLO is at risk."""
+
+    enabled: bool = False
+    # Wall time between the slo_at_risk trip and the rollout's first
+    # wave (paging, triage, build pinning).
+    detection_delay_s: float = 1800.0
+    plan: Optional[RolloutPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.detection_delay_s < 0:
+            raise ValueError("detection delay must be non-negative")
+
+    def resolved_plan(self) -> RolloutPlan:
+        """The plan to execute (defaults to the paper's ~3 h emergency)."""
+        return self.plan if self.plan is not None else emergency_rollout()
+
+
+@dataclasses.dataclass(frozen=True)
+class ResiliencePolicies:
+    """The serving tier's full policy bundle."""
+
+    retry: Optional[RetryPolicy] = None
+    hedge: HedgePolicy = HedgePolicy()
+    drain: Optional[DrainPolicy] = None
+    shed: LoadShedPolicy = LoadShedPolicy()
+    rollout: RolloutPolicy = RolloutPolicy()
+
+    @staticmethod
+    def none() -> "ResiliencePolicies":
+        """No mitigation at all — the paper's counterfactual baseline."""
+        return ResiliencePolicies(
+            retry=None,
+            hedge=HedgePolicy(enabled=False),
+            drain=None,
+            shed=LoadShedPolicy(enabled=False),
+            rollout=RolloutPolicy(enabled=False),
+        )
+
+    @staticmethod
+    def production() -> "ResiliencePolicies":
+        """The full stack: retries, hedging, drain, shed, and the
+        emergency-rollout trigger."""
+        return ResiliencePolicies(
+            retry=RetryPolicy(),
+            hedge=HedgePolicy(enabled=True),
+            drain=DrainPolicy(),
+            shed=LoadShedPolicy(enabled=True),
+            rollout=RolloutPolicy(enabled=True),
+        )

@@ -97,19 +97,37 @@ def headroom_for_fault_tolerance(
 ) -> int:
     """Extra devices needed so the pool still meets its delay budget when
     ``fault_rate`` of devices are down — the buffer capacity sizing the
-    paper's section 5.4 discussion alludes to."""
+    paper's section 5.4 discussion alludes to.
+
+    Solved in closed form.  A provisioned pool of ``T`` devices keeps
+    ``T - ceil(T * fault_rate) = floor(T * (1 - fault_rate))`` survivors
+    (the rounding of :func:`inject_device_faults`), so the delay budget
+    needs ``floor(T * (1 - fault_rate)) >= ceil(load / (throughput *
+    target_utilization))``, i.e. ``T >= survivors_needed / (1 -
+    fault_rate)``.  The one-step adjustment below absorbs floating-point
+    boundary cases so the result matches the exhaustive search exactly.
+    """
     if max_delay_factor <= 1.0:
         raise ValueError("delay budget must exceed 1")
+    if not (0.0 <= fault_rate < 1.0):
+        raise ValueError("fault rate must be in [0, 1)")
     target_utilization = 1.0 - 1.0 / max_delay_factor
-    extra = 0
-    while True:
-        candidate = dataclasses.replace(pool, devices=pool.devices + extra)
+
+    def satisfies(total_devices: int) -> bool:
+        candidate = dataclasses.replace(pool, devices=total_devices)
         impact = inject_device_faults(candidate, fault_rate)
-        if (
+        return (
             not impact.after.overloaded
             and impact.after.utilization <= target_utilization
-        ):
-            return extra
-        extra += 1
-        if extra > 10 * pool.devices:  # pragma: no cover - defensive
-            raise RuntimeError("cannot satisfy the delay budget")
+        )
+
+    capacity_target = pool.device_throughput * target_utilization
+    survivors_needed = max(1, math.ceil(pool.offered_load / capacity_target))
+    total = max(pool.devices, math.ceil(survivors_needed / (1.0 - fault_rate)))
+    # Float rounding can land one device high or low of the true minimum;
+    # nudge onto the boundary using the same predicate the search used.
+    while not satisfies(total):
+        total += 1
+    while total > pool.devices and satisfies(total - 1):
+        total -= 1
+    return total - pool.devices

@@ -1,11 +1,8 @@
 """Tests for chip and server specifications (Table 2, section 3.4)."""
 
-import dataclasses
-
 import pytest
 
 from repro.arch import (
-    ChipSpec,
     describe_chip,
     describe_pe,
     describe_software_stack,

@@ -12,7 +12,7 @@ from repro.kernels import estimate_op
 from repro.models.dlrm import build_dlrm, small_dlrm
 from repro.perf import Executor
 from repro.tco import GPU_COST, MTIA2I_COST, server_tco
-from repro.tensors import DType, GemmShape, model_input, weight
+from repro.tensors import DType, model_input, weight
 
 
 class TestSpecConsistency:

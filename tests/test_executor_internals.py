@@ -6,7 +6,7 @@ import pytest
 
 from repro.arch import gpu_spec, mtia2i_spec
 from repro.graph import OpGraph, fc, layernorm, tbe
-from repro.models.dlrm import EmbeddingBagConfig, build_dlrm, small_dlrm
+from repro.models.dlrm import build_dlrm, small_dlrm
 from repro.perf import Executor
 from repro.perf.executor import DRAM_EFFICIENCY_DEMAND, DRAM_EFFICIENCY_PREFETCH
 from repro.tensors import embedding_table, model_input, weight

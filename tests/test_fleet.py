@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arch import gpu_server, mtia2i_server
+from repro.arch import mtia2i_server
 from repro.fleet import (
     AllocationError,
     HOST_DRAM_AMPLIFICATION_NAIVE,

@@ -5,7 +5,6 @@ import pytest
 from repro.graph import (
     GraphError,
     OpGraph,
-    OpType,
     broadcast,
     cast,
     concat,

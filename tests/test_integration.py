@@ -7,7 +7,7 @@ import pytest
 from repro.arch import gpu_spec, mtia1_spec, mtia2i_spec
 from repro.core import optimize_graph
 from repro.graph.passes import count_kernel_launches
-from repro.models import figure6_models, lc1, lc5, hc2, hc4
+from repro.models import figure6_models, lc1
 from repro.models.dlrm import build_dlrm, small_dlrm
 from repro.perf import Executor
 
@@ -45,7 +45,6 @@ class TestCrossPlatformSanity:
     def test_gpu_chip_faster_than_mtia_chip(self):
         """One H100-class GPU outruns one 85 W MTIA chip; MTIA wins at the
         server/TCO level, not chip versus chip."""
-        g = _graph(2048)
         mtia = Executor(mtia2i_spec()).run(_graph(2048), 2048, warmup_runs=2)
         gpu = Executor(gpu_spec()).run(_graph(2048), 2048, warmup_runs=2)
         assert gpu.throughput_samples_per_s > mtia.throughput_samples_per_s

@@ -1,7 +1,5 @@
 """Coverage for smaller API surfaces not exercised elsewhere."""
 
-import dataclasses
-
 import pytest
 
 from repro.arch import mtia2i_spec

@@ -18,9 +18,6 @@ from repro.models import (
     table1_models,
     table1_row,
 )
-from repro.units import GiB
-
-
 class TestDlrmBuilder:
     def test_builds_valid_graph(self):
         graph = build_dlrm(small_dlrm())

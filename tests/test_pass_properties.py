@@ -10,8 +10,6 @@ pass and the executor must uphold their invariants on all of them:
 * the executor produces positive, finite latencies on any valid graph.
 """
 
-import dataclasses
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -16,7 +16,6 @@ from repro.pe import (
     PipelineStage,
     ReductionConfig,
     RiscvVectorConfig,
-    SimdConfig,
     accumulate_time,
     cross_pe_reduce_time,
     dma_time,

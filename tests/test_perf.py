@@ -70,7 +70,6 @@ class TestExecutor:
         assert large.throughput_samples_per_s > small.throughput_samples_per_s
 
     def test_mtia2i_beats_mtia1(self):
-        g = _small_graph(512)
         new = Executor(mtia2i_spec()).run(_small_graph(512), 512)
         old = Executor(mtia1_spec()).run(_small_graph(512), 512)
         assert new.throughput_samples_per_s > 1.5 * old.throughput_samples_per_s

@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.core import Mtia2iSystem, publish_model
 from repro.models.dlrm import DlrmConfig, EmbeddingBagConfig, build_dlrm, small_dlrm
 

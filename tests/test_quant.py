@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.arch import mtia2i_spec
 from repro.quant import (
-    FcQuantizationReport,
     fc_quantization_report,
     fp16_matmul_error,
     plan_model_quantization,

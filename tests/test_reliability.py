@@ -71,6 +71,40 @@ class TestSecded:
         with pytest.raises(ValueError):
             decode_word(1 << 72)
 
+    def test_adjacent_double_errors_detected_exhaustively(self):
+        """Every adjacent bit pair — the DRAM-burst failure shape — must be
+        flagged, never silently mis-corrected."""
+        word = 0xFFFF_0000_AAAA_5555
+        code = encode_word(word)
+        for bit in range(71):
+            result = decode_word(code ^ (1 << bit) ^ (1 << (bit + 1)))
+            assert result.double_error_detected, f"bits {bit},{bit + 1} missed"
+            assert not result.corrected
+
+    def test_double_error_involving_overall_parity_bit(self):
+        """A data/parity flip paired with the overall parity bit leaves
+        overall parity even — the decoder must still catch it via the
+        syndrome, not 'correct' the wrong bit."""
+        word = 0x0123456789ABCDEF
+        code = encode_word(word)
+        overall = 71  # the SECDED overall-parity position
+        for bit in range(71):
+            result = decode_word(code ^ (1 << bit) ^ (1 << overall))
+            assert result.double_error_detected, f"bits {bit},{overall} missed"
+            assert not result.corrected
+
+    def test_double_error_never_reports_clean(self):
+        """No double flip may decode as 'no error': that would be the
+        silent corruption SECDED exists to prevent."""
+        word = 0
+        code = encode_word(word)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            a, b = rng.choice(72, size=2, replace=False)
+            result = decode_word(code ^ (1 << int(a)) ^ (1 << int(b)))
+            assert result.double_error_detected
+            assert not result.corrected
+
 
 @given(word=st.integers(min_value=0, max_value=(1 << 64) - 1),
        bit=st.integers(min_value=0, max_value=71))
@@ -245,6 +279,49 @@ class TestFirmware:
     def test_tiny_incidence_may_reach_fleet(self):
         result = staged_detection(issue_incidence=1e-7, seed=0)
         assert result.detected_at_stage is None
+
+    def test_zero_incidence_always_reaches_fleet(self):
+        """A clean firmware build must sail through every ring regardless
+        of seed, exposing the full fleet with no detection."""
+        for seed in range(5):
+            result = staged_detection(issue_incidence=0.0, seed=seed)
+            assert result.detected_at_stage is None
+            assert result.servers_exposed == result.fleet_servers
+
+    def test_below_threshold_incidence_escapes_early_rings(self):
+        """An incidence too small to trip the detection threshold in any
+        pre-fleet ring reaches the whole fleet — the paper's argument for
+        why the 0.1% deadlock escaped staged deployment."""
+        # With an 80k fleet and a 1%-of-fleet canary ring, incidence that
+        # yields < threshold expected hits per ring goes undetected.
+        result = staged_detection(
+            issue_incidence=1e-6,
+            detection_threshold_servers=3,
+            seed=1,
+        )
+        assert result.detected_at_stage is None
+        assert result.servers_exposed == result.fleet_servers
+
+    def test_certain_incidence_caught_at_first_ring(self):
+        result = staged_detection(issue_incidence=1.0, seed=0)
+        assert result.detected_at_stage is not None
+        assert result.servers_exposed < result.fleet_servers
+
+    def test_staged_detection_validation(self):
+        with pytest.raises(ValueError):
+            staged_detection(issue_incidence=1.5)
+        with pytest.raises(ValueError):
+            staged_detection(issue_incidence=-0.1)
+
+    def test_restart_wave_partitioning(self):
+        """Wave sizes honor the concurrency cap and cover the fleet."""
+        plan = emergency_rollout()
+        for fleet in (1, 5, 300, 80_000):
+            waves = plan.restart_waves(fleet)
+            assert sum(waves) == fleet
+            assert all(0 < w <= plan.restart_wave_size(fleet) for w in waves)
+        with pytest.raises(ValueError):
+            plan.restart_waves(0)
 
 
 class TestPower:

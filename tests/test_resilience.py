@@ -1,0 +1,577 @@
+"""Tests for the fleet resilience simulator (section 5.5 closed loop)."""
+
+import json
+
+import pytest
+
+from repro.reliability import emergency_rollout, typical_rollout
+from repro.resilience import (
+    Device,
+    DeviceState,
+    DrainPolicy,
+    Event,
+    EventKind,
+    EventLog,
+    FaultRates,
+    HedgePolicy,
+    LoadShedPolicy,
+    ResilienceConfig,
+    ResiliencePolicies,
+    RetryPolicy,
+    RolloutPolicy,
+    TransitionError,
+    evaluate_interval,
+    fault_rates_from_reliability,
+    presample_fault_arrivals,
+    run_resilience,
+    run_section_55_drill,
+    to_resilience_trace,
+    write_resilience_trace,
+)
+from repro.resilience.scenario import section_55_policies
+from repro.units import GHZ
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Device lifecycle state machine
+# ---------------------------------------------------------------------------
+
+
+class TestDeviceLifecycle:
+    def test_full_cycle(self):
+        device = Device(device_id=0)
+        device.transition(DeviceState.WEDGED, 10.0)
+        device.transition(DeviceState.DRAINING, 20.0)
+        device.transition(DeviceState.REBOOTING, 25.0)
+        device.transition(DeviceState.HEALTHY, 625.0)
+        device.finalize(1000.0)
+        assert device.state == DeviceState.HEALTHY
+        assert device.state_seconds[DeviceState.WEDGED] == pytest.approx(10.0)
+        assert device.state_seconds[DeviceState.DRAINING] == pytest.approx(5.0)
+        assert device.state_seconds[DeviceState.REBOOTING] == pytest.approx(600.0)
+        # Downtime = wedged + draining + rebooting.
+        assert device.downtime_seconds() == pytest.approx(615.0)
+
+    def test_illegal_transitions_raise(self):
+        device = Device(device_id=0)
+        with pytest.raises(TransitionError):
+            device.transition(DeviceState.DRAINING, 1.0)  # healthy can't drain
+        device.transition(DeviceState.WEDGED, 1.0)
+        with pytest.raises(TransitionError):
+            device.transition(DeviceState.HEALTHY, 2.0)  # wedge needs a reboot
+        with pytest.raises(TransitionError):
+            device.transition(DeviceState.DEGRADED, 2.0)
+
+    def test_rotation_vs_serving(self):
+        device = Device(device_id=0)
+        assert device.in_rotation and device.serving
+        device.transition(DeviceState.WEDGED, 0.0)
+        # The crux of section 5.5: silently dead but still routed to.
+        assert device.in_rotation and not device.serving
+        assert device.throughput_scale == 0.0
+        device.transition(DeviceState.DRAINING, 1.0)
+        assert not device.in_rotation
+
+    def test_degraded_scale(self):
+        device = Device(device_id=0, degraded_scale=0.5)
+        device.transition(DeviceState.DEGRADED, 0.0)
+        assert device.throughput_scale == 0.5
+        assert device.serving
+
+    def test_health_checks(self):
+        device = Device(device_id=0)
+        assert device.health_check()
+        device.transition(DeviceState.WEDGED, 0.0)
+        assert not device.health_check()
+        assert not device.health_check()
+        assert device.consecutive_health_failures == 2
+
+    def test_patched_immunity(self):
+        device = Device(device_id=0)
+        assert device.susceptible_to_deadlock
+        device.patched = True
+        assert not device.susceptible_to_deadlock
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_ordering_enforced(self):
+        log = EventLog()
+        log.append(Event(time_s=5.0, kind=EventKind.FAULT_DEADLOCK, device_id=1))
+        with pytest.raises(ValueError):
+            log.append(Event(time_s=1.0, kind=EventKind.REBOOT_DONE, device_id=1))
+
+    def test_filters(self):
+        log = EventLog()
+        log.append(Event(time_s=1.0, kind=EventKind.FAULT_DEADLOCK, device_id=1))
+        log.append(Event(time_s=2.0, kind=EventKind.FAULT_SDC, device_id=2))
+        log.append(Event(time_s=3.0, kind=EventKind.FAULT_DEADLOCK, device_id=2))
+        assert len(log.of_kind(EventKind.FAULT_DEADLOCK)) == 2
+        assert len(log.for_device(2)) == 2
+        assert log.first_of_kind(EventKind.FAULT_SDC).time_s == 2.0
+        assert log.first_of_kind(EventKind.ROLLOUT_DONE) is None
+
+    def test_jsonable_and_timeline(self):
+        log = EventLog()
+        log.append(Event(time_s=7200.0, kind=EventKind.SLO_AT_RISK,
+                         detail={"wedged": 17.0}))
+        plain = log.to_jsonable()
+        assert plain == [{"time_s": 7200.0, "kind": "slo_at_risk",
+                          "device_id": None, "detail": {"wedged": 17.0}}]
+        assert "slo_at_risk" in log.timeline()
+        assert "t=    2.00h" in log.timeline()
+
+
+# ---------------------------------------------------------------------------
+# Fault rates from the reliability models
+# ---------------------------------------------------------------------------
+
+
+class TestFaultRates:
+    def test_rates_from_reliability_models(self):
+        rates = fault_rates_from_reliability()
+        # The firmware model's incidence lands in the paper's ~0.1%/day band.
+        assert 0.0005 < rates.deadlock_per_device_hour * 24 < 0.005
+        assert rates.ecc_ue_per_device_hour > 0
+        assert rates.sdc_per_device_hour > 0
+
+    def test_mitigated_firmware_kills_deadlocks(self):
+        rates = fault_rates_from_reliability(mitigated=True)
+        assert rates.deadlock_per_device_hour == 0.0
+
+    def test_design_frequency_has_no_sdc_tail(self):
+        rates = fault_rates_from_reliability(operating_frequency_hz=1.1 * GHZ)
+        assert rates.sdc_per_device_hour == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRates(-1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            fault_rates_from_reliability(deadlock_fraction_per_day=2.0)
+
+    def test_presample_sorted_bounded_deterministic(self):
+        rates = FaultRates(0.05, 0.01, 0.0, 0.02)
+        first = presample_fault_arrivals(rates, 20, 3600.0, np.random.default_rng(4))
+        again = presample_fault_arrivals(rates, 20, 3600.0, np.random.default_rng(4))
+        assert first == again
+        for family, arrivals in first.items():
+            assert arrivals == sorted(arrivals)
+            assert all(0 <= t < 3600.0 for t, _ in arrivals)
+        assert first["sdc"] == []  # zero rate -> no arrivals
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+class TestPolicies:
+    def test_backoff_grows_and_caps(self):
+        retry = RetryPolicy(backoff_base_s=0.1, backoff_multiplier=2.0,
+                            backoff_cap_s=0.5, jitter_fraction=0.0)
+        assert retry.backoff_s(1) == pytest.approx(0.1)
+        assert retry.backoff_s(2) == pytest.approx(0.2)
+        assert retry.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert retry.backoff_s(10) == pytest.approx(0.5)
+
+    def test_backoff_jitter_bounded(self):
+        retry = RetryPolicy(backoff_base_s=0.1, jitter_fraction=0.5)
+        rng = np.random.default_rng(0)
+        for attempt in (1, 2, 3):
+            base = RetryPolicy(backoff_base_s=0.1, jitter_fraction=0.0).backoff_s(attempt)
+            value = retry.backoff_s(attempt, rng)
+            assert base * 0.5 <= value <= base
+
+    def test_worst_case_added_latency(self):
+        retry = RetryPolicy(timeout_s=1.0, backoff_base_s=0.1,
+                            backoff_multiplier=2.0, jitter_fraction=0.0)
+        # Two timeouts + two backoffs before the third attempt.
+        assert retry.worst_case_added_latency_s(3) == pytest.approx(1.1 + 1.2)
+
+    def test_drain_reboot_mttr(self):
+        drain = DrainPolicy(reboot_mttr_s=600.0, reboot_sigma=0.3)
+        rng = np.random.default_rng(1)
+        samples = [drain.sample_reboot_s(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(600.0, rel=0.05)
+        assert DrainPolicy(reboot_sigma=0.0).sample_reboot_s(rng) == 600.0
+        assert drain.detection_latency_s() == pytest.approx(180.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            HedgePolicy(hedge_after_s=0)
+        with pytest.raises(ValueError):
+            DrainPolicy(failures_to_drain=0)
+        with pytest.raises(ValueError):
+            LoadShedPolicy(max_utilization=0)
+        with pytest.raises(ValueError):
+            RolloutPolicy(detection_delay_s=-1)
+
+    def test_rollout_defaults_to_emergency_plan(self):
+        policy = RolloutPolicy(enabled=True)
+        assert policy.resolved_plan().max_concurrent_restart_fraction == (
+            emergency_rollout().max_concurrent_restart_fraction
+        )
+
+    def test_bundles(self):
+        none = ResiliencePolicies.none()
+        assert none.retry is None and none.drain is None
+        assert not none.rollout.enabled and not none.shed.enabled
+        prod = ResiliencePolicies.production()
+        assert prod.retry is not None and prod.drain is not None
+        assert prod.rollout.enabled
+
+
+class TestRolloutWaves:
+    def test_waves_cover_fleet_under_cap(self):
+        plan = emergency_rollout()
+        waves = plan.restart_waves(300)
+        assert sum(waves) == 300
+        cap = plan.restart_wave_size(300)
+        assert all(w <= cap for w in waves)
+        assert waves[-1] <= cap
+
+    def test_small_fleet_gets_single_device_waves(self):
+        plan = typical_rollout()  # 2% concurrency
+        assert plan.restart_wave_size(10) == 1
+        assert plan.restart_waves(10) == [1] * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            emergency_rollout().restart_waves(0)
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic
+# ---------------------------------------------------------------------------
+
+
+_PATHS = {
+    DeviceState.HEALTHY: (),
+    DeviceState.DEGRADED: (DeviceState.DEGRADED,),
+    DeviceState.WEDGED: (DeviceState.WEDGED,),
+    DeviceState.DRAINING: (DeviceState.WEDGED, DeviceState.DRAINING),
+    DeviceState.REBOOTING: (
+        DeviceState.WEDGED, DeviceState.DRAINING, DeviceState.REBOOTING,
+    ),
+}
+
+
+def _pool(states, degraded_scale=0.6):
+    devices = {}
+    for i, state in enumerate(states):
+        device = Device(device_id=i, degraded_scale=degraded_scale)
+        for step in _PATHS[state]:
+            device.transition(step, 0.0)
+        devices[i] = device
+    return devices
+
+
+class TestEvaluateInterval:
+    def _metrics(self, states, policies, offered=8_000.0, **kwargs):
+        defaults = dict(
+            now_s=0.0,
+            devices=_pool(states),
+            offered_samples_per_s=offered,
+            device_throughput=1000.0,
+            policies=policies,
+            base_p50_s=0.02,
+            base_p99_s=0.08,
+            baseline_utilization=0.8,
+        )
+        defaults.update(kwargs)
+        return evaluate_interval(**defaults)
+
+    def test_healthy_pool(self):
+        metrics = self._metrics([DeviceState.HEALTHY] * 10,
+                                ResiliencePolicies.none())
+        assert metrics.goodput_fraction == pytest.approx(1.0)
+        assert metrics.retry_amplification == pytest.approx(1.0)
+        assert metrics.failed_fraction == 0.0
+        assert not metrics.slo_at_risk
+        assert metrics.p99_latency_s == pytest.approx(0.08)
+
+    def test_wedged_without_retry_loses_their_share(self):
+        states = [DeviceState.HEALTHY] * 8 + [DeviceState.WEDGED] * 2
+        metrics = self._metrics(states, ResiliencePolicies.none())
+        assert metrics.failed_fraction == pytest.approx(0.2)
+        assert metrics.goodput_fraction == pytest.approx(0.8)
+
+    def test_retry_recovers_goodput_with_amplification(self):
+        states = [DeviceState.HEALTHY] * 8 + [DeviceState.WEDGED] * 2
+        policies = ResiliencePolicies(retry=RetryPolicy(max_attempts=3))
+        # 6k offered leaves headroom on the 8 survivors for the retried load.
+        metrics = self._metrics(states, policies, offered=6_000.0)
+        assert metrics.failed_fraction == pytest.approx(0.2**3)
+        assert metrics.goodput_fraction > 0.99
+        assert metrics.retry_amplification == pytest.approx(1 + 0.2 + 0.04)
+        # The retried tail pushes P99 past the timeout.
+        assert metrics.p99_latency_s > policies.retry.timeout_s
+
+    def test_retry_amplification_can_overload_survivors(self):
+        # At exactly-full surviving capacity the retried load overflows:
+        # goodput dips below the no-retry wedge share would suggest.
+        states = [DeviceState.HEALTHY] * 8 + [DeviceState.WEDGED] * 2
+        policies = ResiliencePolicies(retry=RetryPolicy(max_attempts=3))
+        metrics = self._metrics(states, policies, offered=8_000.0)
+        assert metrics.utilization >= 0.95
+        assert metrics.goodput_fraction < 1.0
+        assert metrics.slo_at_risk
+
+    def test_hedging_trades_attempts_for_latency(self):
+        states = [DeviceState.HEALTHY] * 8 + [DeviceState.WEDGED] * 2
+        retry_only = self._metrics(states, ResiliencePolicies(retry=RetryPolicy()))
+        hedged = self._metrics(
+            states,
+            ResiliencePolicies(retry=RetryPolicy(),
+                               hedge=HedgePolicy(enabled=True)),
+        )
+        assert hedged.p99_latency_s < retry_only.p99_latency_s
+        assert hedged.retry_amplification > retry_only.retry_amplification
+        assert hedged.failed_fraction < retry_only.failed_fraction
+
+    def test_load_shedding_caps_utilization(self):
+        # 8k offered onto 4 healthy devices = 2x overload.
+        states = [DeviceState.HEALTHY] * 4 + [DeviceState.DRAINING] * 6
+        policies = ResiliencePolicies(shed=LoadShedPolicy(max_utilization=0.9))
+        metrics = self._metrics(states, policies)
+        assert metrics.shed_fraction > 0.5
+        assert metrics.utilization == pytest.approx(0.9)
+        assert metrics.slo_at_risk
+
+    def test_overload_without_shedding_drops_excess(self):
+        states = [DeviceState.HEALTHY] * 4 + [DeviceState.DRAINING] * 6
+        metrics = self._metrics(states, ResiliencePolicies.none())
+        assert metrics.shed_fraction == 0.0
+        assert metrics.goodput_samples_per_s == pytest.approx(4000.0)
+
+    def test_all_devices_down(self):
+        states = [DeviceState.REBOOTING] * 4
+        metrics = self._metrics(states, ResiliencePolicies.none())
+        assert metrics.goodput_samples_per_s == 0.0
+        assert metrics.slo_at_risk
+
+    def test_degraded_devices_reduce_capacity(self):
+        healthy = self._metrics([DeviceState.HEALTHY] * 10,
+                                ResiliencePolicies.none())
+        degraded = self._metrics(
+            [DeviceState.HEALTHY] * 5 + [DeviceState.DEGRADED] * 5,
+            ResiliencePolicies.none(),
+        )
+        assert degraded.capacity_samples_per_s < healthy.capacity_samples_per_s
+        assert degraded.utilization > healthy.utilization
+
+
+# ---------------------------------------------------------------------------
+# The full simulator: the acceptance arc
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def drill():
+    """One shared section 5.5 drill (both arms, default paper-rate knobs)."""
+    return run_section_55_drill(seed=0)
+
+
+class TestSection55Arc:
+    def test_baseline_goodput_degrades_monotonically(self, drill):
+        series = drill.baseline.goodput_series
+        assert series[0] == pytest.approx(1.0)
+        # Monotone within a tiny tolerance (SDC blips are ~1e-4).
+        assert all(b <= a + 1e-3 for a, b in zip(series, series[1:]))
+        assert drill.baseline.final_goodput_fraction < 0.95
+
+    def test_baseline_slo_trips_within_window(self, drill):
+        trip = drill.baseline.first_slo_trip_s
+        assert trip is not None
+        assert trip < drill.config.duration_s
+        assert drill.baseline.events.first_of_kind(EventKind.SLO_AT_RISK) is not None
+
+    def test_mitigated_recovers_to_99_percent(self, drill):
+        assert drill.recovered
+        assert drill.mitigated.final_goodput_fraction >= 0.99
+
+    def test_rollout_honors_concurrency_and_completes(self, drill):
+        events = drill.mitigated.events
+        assert events.first_of_kind(EventKind.ROLLOUT_TRIGGERED) is not None
+        done = events.first_of_kind(EventKind.ROLLOUT_DONE)
+        assert done is not None
+        plan = emergency_rollout()
+        cap = plan.restart_wave_size(drill.config.devices)
+        waves = events.of_kind(EventKind.ROLLOUT_WAVE)
+        assert waves and all(e.detail["devices"] <= cap for e in waves)
+        # Every device got patched.
+        assert len(events.of_kind(EventKind.DEVICE_PATCHED)) == drill.config.devices
+        # Wall time in the emergency-rollout ballpark (paper: ~3 h).
+        trigger = events.first_of_kind(EventKind.ROLLOUT_TRIGGERED)
+        assert (done.time_s - trigger.time_s) / 3600.0 < 6.0
+
+    def test_no_deadlocks_after_fleet_patched(self, drill):
+        done = drill.mitigated.events.first_of_kind(EventKind.ROLLOUT_DONE)
+        late = [
+            e for e in drill.mitigated.events.of_kind(EventKind.FAULT_DEADLOCK)
+            if e.time_s > done.time_s
+        ]
+        assert late == []
+
+    def test_retry_amplification_visible_before_rollout(self, drill):
+        assert drill.mitigated.peak_retry_amplification > 1.01
+
+    def test_mitigation_cuts_unavailability(self, drill):
+        assert (
+            drill.mitigated.unavailability_device_minutes
+            < 0.5 * drill.baseline.unavailability_device_minutes
+        )
+
+    def test_same_seed_identical_event_logs(self, drill):
+        again = run_section_55_drill(seed=0)
+        assert (
+            again.baseline.events.to_jsonable()
+            == drill.baseline.events.to_jsonable()
+        )
+        assert (
+            again.mitigated.events.to_jsonable()
+            == drill.mitigated.events.to_jsonable()
+        )
+
+    def test_different_seed_different_schedule(self, drill):
+        other = run_section_55_drill(seed=1, duration_days=30)
+        assert (
+            other.baseline.events.to_jsonable()
+            != drill.baseline.events.to_jsonable()
+        )
+
+    def test_summary_mentions_the_arc(self, drill):
+        text = drill.summary()
+        assert "slo_at_risk" in text
+        assert "rollout" in text
+        assert "recovered" in text
+
+
+class TestDrainPath:
+    """Health-check drain/quarantine with MTTR reboots (production bundle)."""
+
+    def _run(self):
+        rates = FaultRates(
+            deadlock_per_device_hour=0.02,
+            ecc_ue_per_device_hour=0.0,
+            sdc_per_device_hour=0.0,
+            throttle_per_device_hour=0.0,
+        )
+        config = ResilienceConfig(
+            devices=40,
+            device_throughput=1000.0,
+            offered_load=28_000.0,
+            duration_s=86_400.0,
+            metrics_interval_s=600.0,
+            seed=11,
+        )
+        return run_resilience(config, rates, ResiliencePolicies.production())
+
+    def test_wedged_devices_get_drained_and_rebooted(self):
+        report = self._run()
+        wedges = report.events.of_kind(EventKind.FAULT_DEADLOCK)
+        drains = report.events.of_kind(EventKind.DRAIN_START)
+        reboots = report.events.of_kind(EventKind.REBOOT_DONE)
+        assert wedges, "fault schedule should produce deadlocks"
+        assert len(drains) == len(wedges)
+        assert len(reboots) >= len(drains)
+        # Detection latency: drain happens after the configured number of
+        # failed health checks, not instantly.
+        drain_policy = DrainPolicy()
+        first_wedge = wedges[0]
+        first_drain = next(
+            e for e in drains if e.device_id == first_wedge.device_id
+        )
+        assert first_drain.time_s - first_wedge.time_s == pytest.approx(
+            drain_policy.detection_latency_s(), abs=1.0
+        )
+
+    def test_drain_keeps_goodput_high(self):
+        report = self._run()
+        assert report.min_goodput_fraction > 0.95
+        assert report.final_goodput_fraction > 0.99
+
+    def test_throttle_episodes_recover(self):
+        rates = FaultRates(0.0, 0.0, 0.0, 0.2, throttle_duration_s=1200.0)
+        config = ResilienceConfig(
+            devices=20, offered_load=12_000.0, duration_s=6 * 3600.0,
+            metrics_interval_s=300.0, seed=2,
+        )
+        report = run_resilience(config, rates, ResiliencePolicies.production())
+        throttles = report.events.of_kind(EventKind.FAULT_THROTTLE)
+        ends = report.events.of_kind(EventKind.DEGRADE_END)
+        assert throttles
+        assert ends, "throttled devices must come back"
+        # No device may end the window still degraded forever.
+        assert report.intervals[-1].degraded <= len(throttles)
+
+
+# ---------------------------------------------------------------------------
+# Trace export
+# ---------------------------------------------------------------------------
+
+
+class TestResilienceTrace:
+    def _report(self):
+        rates = FaultRates(0.05, 0.0, 0.01, 0.05)
+        config = ResilienceConfig(
+            devices=12, offered_load=8_000.0, duration_s=6 * 3600.0,
+            metrics_interval_s=600.0, seed=5,
+        )
+        return run_resilience(config, rates, ResiliencePolicies.production())
+
+    def test_trace_structure(self):
+        report = self._report()
+        doc = to_resilience_trace(report)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "C"} <= phases
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans and all(e["dur"] >= 0 for e in spans)
+        assert doc["otherData"]["devices"] == 12
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert {"goodput_fraction", "wedged_devices", "p99_latency_ms"} <= counters
+
+    def test_trace_written_to_disk(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "resilience.json"
+        write_resilience_trace(report, str(path))
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+
+# ---------------------------------------------------------------------------
+# Config validation and the scenario helper
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(devices=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(duration_s=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(base_p50_s=0.1, base_p99_s=0.05)
+        with pytest.raises(ValueError):
+            run_section_55_drill(utilization=1.5)
+
+    def test_baseline_utilization(self):
+        config = ResilienceConfig(devices=10, device_throughput=100.0,
+                                  offered_load=850.0)
+        assert config.baseline_utilization == pytest.approx(0.85)
+
+    def test_policies_helper_matches_paper_story(self):
+        policies = section_55_policies()
+        assert policies.drain is None  # the wedge needs the rollout
+        assert policies.rollout.enabled
+        assert policies.retry is not None

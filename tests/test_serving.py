@@ -250,6 +250,55 @@ class TestFaultInjection:
         buffered = dc.replace(pool, devices=pool.devices + extra)
         assert not inject_device_faults(buffered, 0.05).slo_at_risk
 
+    def test_headroom_matches_exhaustive_search(self):
+        """The closed-form sizing must agree with the linear search it
+        replaced, across a grid that crosses the rounding boundaries."""
+        import dataclasses as dc
+
+        from repro.serving import (
+            PoolState,
+            headroom_for_fault_tolerance,
+            inject_device_faults,
+        )
+
+        def brute_force(pool, fault_rate, max_delay_factor):
+            target = 1.0 - 1.0 / max_delay_factor
+            total = pool.devices
+            while True:
+                candidate = dc.replace(pool, devices=total)
+                impact = inject_device_faults(candidate, fault_rate)
+                if (
+                    not impact.after.overloaded
+                    and impact.after.utilization <= target
+                ):
+                    return total - pool.devices
+                total += 1
+
+        for devices in (1, 3, 7, 100, 257):
+            for utilization in (0.05, 0.5, 0.85, 0.99):
+                for fault_rate in (0.0, 0.001, 0.1, 1 / 3, 0.9):
+                    for max_delay_factor in (1.1, 1.5, 3.0):
+                        pool = PoolState(
+                            devices=devices,
+                            device_throughput=100_000,
+                            offered_load=devices * 100_000 * utilization,
+                        )
+                        got = headroom_for_fault_tolerance(
+                            pool, fault_rate, max_delay_factor
+                        )
+                        want = brute_force(pool, fault_rate, max_delay_factor)
+                        assert got == want, (
+                            f"devices={devices} util={utilization} "
+                            f"fault={fault_rate} delay={max_delay_factor}: "
+                            f"closed form {got} != search {want}"
+                        )
+
+    def test_headroom_zero_when_already_buffered(self):
+        from repro.serving import headroom_for_fault_tolerance
+
+        pool = self._pool(utilization=0.1)
+        assert headroom_for_fault_tolerance(pool, fault_rate=0.01) == 0
+
     def test_queueing_delay_grows(self):
         from repro.serving import queueing_delay_factor
 
@@ -263,3 +312,15 @@ class TestFaultInjection:
             PoolState(devices=0, device_throughput=1, offered_load=0)
         with pytest.raises(ValueError):
             inject_device_faults(self._pool(), fault_rate=1.0)
+
+    def test_headroom_validation(self):
+        from repro.serving import headroom_for_fault_tolerance
+
+        with pytest.raises(ValueError):
+            headroom_for_fault_tolerance(self._pool(), fault_rate=1.0)
+        with pytest.raises(ValueError):
+            headroom_for_fault_tolerance(self._pool(), fault_rate=-0.1)
+        with pytest.raises(ValueError):
+            headroom_for_fault_tolerance(
+                self._pool(), fault_rate=0.1, max_delay_factor=1.0
+            )

@@ -1,7 +1,5 @@
 """Tests for unit constants and formatters."""
 
-import pytest
-
 from repro import units
 
 
