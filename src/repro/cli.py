@@ -8,6 +8,7 @@ Commands:
 * ``casestudy``  — replay the Figure 4 optimization journey
 * ``trace``      — execute a zoo model and write a Chrome trace JSON
 * ``resilience`` — run the section 5.5 fleet-resilience drill
+* ``sdc``        — run the silent-data-corruption injection campaign
 """
 
 from __future__ import annotations
@@ -137,6 +138,47 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sdc(args: argparse.Namespace) -> int:
+    from repro.sdc import (
+        CampaignConfig,
+        run_campaign,
+        sdc_fault_rates,
+        triple_flip_escape_rate,
+    )
+
+    trials, requests = (args.trials, args.requests)
+    if args.smoke:
+        trials, requests = 60, 2000
+    config = CampaignConfig(trials=trials, requests=requests, seed=args.seed)
+    result = run_campaign(config)
+    print(f"SDC injection campaign: {trials} trials x {requests} requests "
+          f"(seed {args.seed})")
+    print(f"  clean quantized-path NE: {result.clean_ne:.4f} "
+          f"(impact threshold |dNE| > {config.ne_threshold:g})")
+    sites = ", ".join(f"{site.value}={count}"
+                      for site, count in result.site_counts.items() if count)
+    print(f"  corruption sites: {sites}")
+    print(f"  SEC-DED 3-bit silent-escape rate: "
+          f"{triple_flip_escape_rate(samples=200, seed=args.seed):.0%}")
+    print()
+    print(result.table())
+    print()
+    for summary in result.profiles:
+        if summary.detector_counts:
+            caught = ", ".join(f"{name}={count}" for name, count in
+                               sorted(summary.detector_counts.items()))
+            print(f"  {summary.profile.name:<10} caught by: {caught}")
+    ratio = result.undetected_impacting_ratio()
+    print(f"\n  undetected NE-impacting corruptions, none vs ecc+abft: "
+          f"{ratio if ratio != float('inf') else 'inf'}x fewer")
+    rates = sdc_fault_rates(result.summary_for("full"),
+                            screening=config.screening)
+    print(f"  resilience-simulator linkage (full profile): "
+          f"sdc rate {rates.sdc_per_device_hour:.2e}/device-hour, "
+          f"blast window {rates.sdc_blast_window_s:.1f} s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -180,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--trace", default=None, metavar="PATH",
                             help="write the mitigated run as a Chrome trace")
     resilience.set_defaults(func=cmd_resilience)
+
+    sdc = sub.add_parser(
+        "sdc", help="run the silent-data-corruption injection campaign"
+    )
+    sdc.add_argument("--trials", type=int, default=400)
+    sdc.add_argument("--requests", type=int, default=8000)
+    sdc.add_argument("--seed", type=int, default=0)
+    sdc.add_argument("--smoke", action="store_true",
+                     help="small fixed-size campaign (60 trials) for CI")
+    sdc.set_defaults(func=cmd_sdc)
     return parser
 
 

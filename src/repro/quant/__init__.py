@@ -15,10 +15,15 @@ from repro.quant.sparsity import (
     sparsity_impact,
 )
 from repro.quant.int8 import (
+    ACCUMULATOR_DTYPE,
+    INT32_ACC_MAX,
     INT8_MAX,
     QuantizedTensor,
+    accumulate_int8,
+    dequantize_accumulator,
     fp16_matmul_error,
     quantization_error,
+    quantize_activations,
     quantize_per_group,
     quantize_per_tensor,
     quantize_rowwise,
@@ -27,14 +32,19 @@ from repro.quant.int8 import (
 )
 
 __all__ = [
+    "ACCUMULATOR_DTYPE",
     "FcQuantizationReport",
+    "INT32_ACC_MAX",
     "INT8_MAX",
     "ModelQuantizationPlan",
     "QuantizedTensor",
+    "accumulate_int8",
+    "dequantize_accumulator",
     "fc_quantization_report",
     "fp16_matmul_error",
     "plan_model_quantization",
     "quantization_error",
+    "quantize_activations",
     "quantize_per_group",
     "quantize_per_tensor",
     "quantize_rowwise",

@@ -97,6 +97,58 @@ def quantize_weights_static(w: np.ndarray) -> QuantizedTensor:
     return QuantizedTensor(values=q, scales=scales)
 
 
+# The DPE's accumulator is 32 bits wide; we accumulate in an explicitly
+# wider dtype and assert the hardware range so an overflow (or an injected
+# large-magnitude corruption) fails loudly instead of silently wrapping.
+ACCUMULATOR_DTYPE = np.int64
+INT32_ACC_MAX = 2**31 - 1
+
+
+def quantize_activations(x: np.ndarray, activation_mode: str = "rowwise") -> QuantizedTensor:
+    """Quantize activations at the requested granularity.
+
+    ``activation_mode`` is ``"rowwise"``, ``"tensor"``, or ``"group:N"`` —
+    the three granularities the paper evaluates (section 4.4).
+    """
+    if activation_mode == "rowwise":
+        return quantize_rowwise(x)
+    if activation_mode == "tensor":
+        return quantize_per_tensor(np.asarray(x, dtype=np.float32))
+    if activation_mode.startswith("group:"):
+        return quantize_per_group(x, int(activation_mode.split(":", 1)[1]))
+    raise ValueError(f"unknown activation mode {activation_mode!r}")
+
+
+def accumulate_int8(x_values: np.ndarray, w_values: np.ndarray) -> np.ndarray:
+    """INT8 x INT8 accumulation in an explicit wide dtype, range-checked.
+
+    Returns the raw integer accumulator (``ACCUMULATOR_DTYPE``), exactly
+    as the DPE produces it before dequantization.  Raises
+    :class:`OverflowError` when any partial sum leaves the 32-bit
+    hardware accumulator range — the loud-failure contract the SDC
+    injection campaign relies on.
+    """
+    acc = x_values.astype(ACCUMULATOR_DTYPE) @ w_values.astype(ACCUMULATOR_DTYPE)
+    if np.any(np.abs(acc) > INT32_ACC_MAX):
+        raise OverflowError(
+            "INT32 accumulator overflow (|acc| > 2^31-1); the hardware "
+            "would wrap silently — reduce K or scales"
+        )
+    return acc
+
+
+def dequantize_accumulator(
+    acc: np.ndarray, x_scales: np.ndarray, w_scales: np.ndarray
+) -> np.ndarray:
+    """Scale a raw integer accumulator back to floating point."""
+    row_scales = np.asarray(x_scales)
+    if not row_scales.ndim:
+        row_scales = row_scales.reshape(1)
+    return acc.astype(np.float64) * np.asarray(row_scales, dtype=np.float64) * np.asarray(
+        w_scales, dtype=np.float64
+    )
+
+
 def quantized_matmul(
     x: np.ndarray, weights: QuantizedTensor, activation_mode: str = "rowwise"
 ) -> np.ndarray:
@@ -105,22 +157,9 @@ def quantized_matmul(
     ``activation_mode`` selects the activation quantization granularity:
     ``"rowwise"``, ``"tensor"``, or ``"group:N"``.
     """
-    if activation_mode == "rowwise":
-        qx = quantize_rowwise(x)
-    elif activation_mode == "tensor":
-        qx = quantize_per_tensor(np.asarray(x, dtype=np.float32))
-    elif activation_mode.startswith("group:"):
-        qx = quantize_per_group(x, int(activation_mode.split(":", 1)[1]))
-    else:
-        raise ValueError(f"unknown activation mode {activation_mode!r}")
-    # INT32 accumulation, exactly as the DPE does.
-    acc = qx.values.astype(np.int64) @ weights.values.astype(np.int64)
-    if np.any(np.abs(acc) > 2**31 - 1):
-        raise OverflowError("INT32 accumulator overflow; reduce K or scales")
-    row_scales = qx.scales if qx.scales.ndim else qx.scales.reshape(1)
-    return acc.astype(np.float64) * np.asarray(row_scales, dtype=np.float64) * np.asarray(
-        weights.scales, dtype=np.float64
-    )
+    qx = quantize_activations(x, activation_mode)
+    acc = accumulate_int8(qx.values, weights.values)
+    return dequantize_accumulator(acc, qx.scales, weights.scales)
 
 
 def quantization_error(

@@ -28,6 +28,12 @@ def _data_positions() -> list:
 
 _DATA_POSITIONS = _data_positions()
 
+# Public layout: DATA_BIT_POSITIONS[i] is the 0-indexed codeword bit that
+# carries data bit i.  The SDC memory-word channel uses this to land
+# data-space bit flips at the right codeword positions, so campaigns with
+# and without ECC corrupt exactly the same logical bits.
+DATA_BIT_POSITIONS = tuple(p - 1 for p in _DATA_POSITIONS)
+
 
 def encode_word(data: int) -> int:
     """Encode a 64-bit word into a 72-bit SEC-DED codeword."""

@@ -79,12 +79,19 @@ def run_overclocking_study(
     frequencies_hz: Sequence[float] = STUDY_FREQUENCIES_HZ,
     margin: Optional[MarginModel] = None,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> StudyResult:
-    """Simulate the 3,000-chip x 10-test x 3-frequency campaign."""
+    """Simulate the 3,000-chip x 10-test x 3-frequency campaign.
+
+    Randomness is reproducible: pass either a ``seed`` or an explicit
+    ``rng`` (which wins when both are given), matching the convention of
+    :func:`repro.fleet.server_sim.production_utilization`.
+    """
     if num_chips <= 0:
         raise ValueError("need at least one chip")
     margin = margin or MarginModel()
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     fmax = margin.sample_fmax(num_chips, rng)
     pass_rates: Dict[float, Dict[str, float]] = {}
     for frequency in frequencies_hz:

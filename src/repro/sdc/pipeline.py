@@ -1,0 +1,331 @@
+"""The corruptible serving path the SDC campaign injects into.
+
+A quantized replica of the §5.6 A/B harness's serving stack for the
+:class:`repro.fleet.abtest.SyntheticCtrModel`: per-request features are
+part dense, part gathered from an FP16 embedding table; the logit is
+computed with the *actual* INT8 arithmetic of :mod:`repro.quant.int8`
+(row-wise dynamic activations, static per-channel weights, explicit
+wide accumulation).  Every artifact a corruption can land in exists as
+real bytes — the FP16 table, the INT8 weight words, the quantized
+activation matrix, the integer accumulator — and every detector runs
+its real computation over those bytes.
+
+Ground-truth labels always come from the clean model, so the normalized
+entropy of the corrupted path against those labels, minus the NE of the
+clean quantized path, isolates exactly the quality damage of the
+surviving corruption (the paper's §5.6 metric applied to §5.1's threat).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.fleet.abtest import Backend, SyntheticCtrModel
+from repro.quant.int8 import (
+    accumulate_int8,
+    dequantize_accumulator,
+    quantize_rowwise,
+    quantize_weights_static,
+)
+from repro.sdc.detectors import (
+    abft_activation_checksum,
+    abft_col_check,
+    abft_weight_checksum,
+    accumulator_bound,
+    hash_rows,
+    verify_row_hashes,
+)
+from repro.sdc.sites import (
+    CorruptionSite,
+    Injection,
+    flip_fp16_bit,
+    flip_int8_bit,
+    read_array_word,
+    recurrent_rows,
+    write_array_word,
+)
+
+# Saturation stand-in for non-finite gathered values: real datapaths
+# clamp to the FP16 max rather than propagate IEEE infinities into the
+# quantizer.  The pre-saturation values still drive the range guard.
+FP16_SATURATE = 65504.0
+# Sanity bound on dequantized logits; the clean path stays far inside.
+LOGIT_GUARD = 30.0
+# Publish-time envelope multiplier for gathered embedding magnitudes.
+EMBED_GUARD_MARGIN = 4.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestSlice:
+    """One traffic slice: dense features, embedding indices, labels."""
+
+    dense: np.ndarray  # (n, F - D) float64
+    indices: np.ndarray  # (n,) intp into the embedding table
+    labels: np.ndarray  # (n,) float64 in {0, 1}
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.labels)
+
+
+@dataclasses.dataclass
+class PipelineState:
+    """The mutable serving-side artifacts a fault corrupts."""
+
+    table: np.ndarray  # fp16 (rows, dim)
+    weight_values: np.ndarray  # int8 (F, 1)
+    activation_fault: Optional[Injection] = None
+    accumulator_fault: Optional[Injection] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeResult:
+    """One pass of the (possibly corrupted) pipeline plus every
+    detector's raw verdict over the same bytes."""
+
+    predictions: np.ndarray
+    embed_guard_ok: bool
+    abft_col_ok: bool
+    abft_row_ok: bool
+    acc_range_ok: bool
+    logit_guard_ok: bool
+    row_hash_ok: bool
+    overflowed: bool
+
+    @property
+    def abft_ok(self) -> bool:
+        return self.abft_col_ok and self.abft_row_ok
+
+    @property
+    def range_guard_ok(self) -> bool:
+        return self.embed_guard_ok and self.acc_range_ok and self.logit_guard_ok
+
+
+class CtrServingPipeline:
+    """The quantized embedding + FC serving path for a synthetic CTR
+    model, with publish-time integrity artifacts (weight checksum, row
+    hashes, magnitude envelope)."""
+
+    def __init__(
+        self,
+        model: Optional[SyntheticCtrModel] = None,
+        embed_rows: int = 128,
+        embed_dim: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.model = model or SyntheticCtrModel(num_features=64, seed=seed)
+        if embed_dim >= self.model.num_features:
+            raise ValueError("embedding slice must leave dense features")
+        if (embed_rows * embed_dim * 2) % 8:
+            raise ValueError("embedding table must be whole 64-bit words")
+        self.embed_rows = embed_rows
+        self.embed_dim = embed_dim
+        self.dense_width = self.model.num_features - embed_dim
+        rng = np.random.default_rng(seed)
+        self.table = rng.normal(0, 1, size=(embed_rows, embed_dim)).astype(np.float16)
+        self.qweights = quantize_weights_static(
+            np.asarray(self.model.true_weights, dtype=np.float32)[:, None]
+        )
+        # Publish-time integrity artifacts.
+        self.weight_checksum = abft_weight_checksum(self.qweights.values)
+        self.row_hashes = hash_rows(self.table)
+        self.embed_guard_limit = float(
+            np.abs(self.table.astype(np.float64)).max() * EMBED_GUARD_MARGIN
+        )
+        self.acc_bound = accumulator_bound(self.model.num_features)
+
+    # -- traffic ----------------------------------------------------------
+
+    def sample(self, num_requests: int, seed: int = 1) -> RequestSlice:
+        """Draw a traffic slice; labels come from the clean ground truth
+        (dense features plus *clean* embedding contributions)."""
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(0, 1, size=(num_requests, self.dense_width))
+        indices = rng.integers(0, self.embed_rows, size=num_requests)
+        features = np.concatenate(
+            [dense, self.table.astype(np.float64)[indices]], axis=1
+        )
+        logits = features @ self.model.true_weights + self.model.bias
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        labels = (rng.uniform(size=num_requests) < probs).astype(np.float64)
+        return RequestSlice(dense=dense, indices=indices, labels=labels)
+
+    # -- state construction ----------------------------------------------
+
+    def clean_state(self) -> PipelineState:
+        """A fresh, uncorrupted copy of the serving artifacts."""
+        return PipelineState(
+            table=self.table.copy(), weight_values=self.qweights.values.copy()
+        )
+
+    def corrupted_state(
+        self, injection: Injection, landed_word: Optional[int] = None
+    ) -> PipelineState:
+        """Apply one injection to a fresh state.
+
+        For ``MEMORY_WORD`` faults the caller resolves the memory path
+        first (through ECC or not) and passes the word that actually
+        landed; ``None`` means the path corrected/discarded it.
+        """
+        state = self.clean_state()
+        site = injection.site
+        if site is CorruptionSite.MEMORY_WORD:
+            if landed_word is not None:
+                target = (
+                    state.table if injection.store == "embedding" else state.weight_values
+                )
+                write_array_word(target, injection.word_index, landed_word)
+        elif site is CorruptionSite.QUANT_WEIGHT:
+            flip_int8_bit(state.weight_values, injection.flat_index, injection.bit)
+        elif site is CorruptionSite.EMBEDDING_ROW:
+            flip_fp16_bit(state.table, injection.flat_index, injection.bit)
+        elif site is CorruptionSite.QUANT_ACTIVATION:
+            state.activation_fault = injection
+        elif site is CorruptionSite.GEMM_ACCUMULATOR:
+            state.accumulator_fault = injection
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(site)
+        return state
+
+    def stored_word(self, injection: Injection) -> int:
+        """The clean 64-bit backing word a memory fault targets."""
+        source = self.table if injection.store == "embedding" else self.qweights.values
+        return read_array_word(source, injection.word_index)
+
+    # -- the serving pass -------------------------------------------------
+
+    def serve(self, requests: RequestSlice, state: PipelineState) -> ServeResult:
+        """Run the quantized path over a slice and every detector's raw
+        check over the same bytes."""
+        gathered = state.table.astype(np.float32)[requests.indices]
+        raw = np.concatenate(
+            [requests.dense.astype(np.float32), gathered], axis=1
+        )
+        finite = np.isfinite(raw)
+        embed_ok = bool(finite.all()) and float(
+            np.abs(gathered[np.isfinite(gathered)]).max(initial=0.0)
+        ) <= self.embed_guard_limit
+        x = np.nan_to_num(raw, nan=FP16_SATURATE, posinf=FP16_SATURATE,
+                          neginf=-FP16_SATURATE)
+
+        qx = quantize_rowwise(x)
+        x_checksum = abft_activation_checksum(qx.values)
+        values = qx.values
+        fault = state.activation_fault
+        if fault is not None:
+            rows = recurrent_rows(
+                requests.num_requests, fault.recurrence, fault.fault_rows_seed
+            )
+            if rows.any():
+                values = values.copy()
+                lane = fault.flat_index % values.shape[1]
+                values[rows, lane] = (
+                    values[rows, lane].view(np.uint8) ^ np.uint8(1 << fault.bit)
+                ).view(np.int8)
+
+        try:
+            acc = accumulate_int8(values, state.weight_values)
+            overflowed = False
+        except OverflowError:
+            # The wide-accumulate assertion fired: loud, not silent.
+            return ServeResult(
+                predictions=np.full(requests.num_requests, 0.5),
+                embed_guard_ok=embed_ok, abft_col_ok=False, abft_row_ok=False,
+                acc_range_ok=False, logit_guard_ok=False,
+                row_hash_ok=verify_row_hashes(state.table, self.row_hashes) is None,
+                overflowed=True,
+            )
+
+        # The row check folds the accumulator the hardware actually holds,
+        # so apply any accumulator fault before either identity is tested.
+        row_lhs = values.astype(np.int64) @ self.weight_checksum
+        fault = state.accumulator_fault
+        if fault is not None:
+            rows = recurrent_rows(
+                requests.num_requests, fault.recurrence, fault.fault_rows_seed
+            )
+            if rows.any():
+                acc = acc.copy()
+                acc[rows, 0] = np.bitwise_xor(
+                    acc[rows, 0], np.int64(1) << np.int64(fault.bit)
+                )
+
+        abft_col_ok = abft_col_check(acc, x_checksum, state.weight_values)
+        abft_row_ok = bool(np.array_equal(acc.sum(axis=1), row_lhs))
+        acc_range_ok = bool(np.abs(acc).max(initial=0) <= self.acc_bound)
+
+        logits = (
+            dequantize_accumulator(acc, qx.scales, self.qweights.scales)[:, 0]
+            + self.model.bias
+        )
+        logit_ok = bool(np.abs(logits).max(initial=0.0) <= LOGIT_GUARD)
+        predictions = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+        return ServeResult(
+            predictions=predictions,
+            embed_guard_ok=embed_ok,
+            abft_col_ok=abft_col_ok,
+            abft_row_ok=abft_row_ok,
+            acc_range_ok=acc_range_ok,
+            logit_guard_ok=logit_ok,
+            row_hash_ok=verify_row_hashes(state.table, self.row_hashes) is None,
+            overflowed=overflowed,
+        )
+
+    # -- §5.6 linkage ------------------------------------------------------
+
+    def ab_model(self):
+        """A model-like adapter for :func:`repro.fleet.abtest.run_ab_test`.
+
+        The harness only needs ``model.sample``; this adapter supplies
+        the pipeline's own traffic, with the embedding-table index
+        carried as a trailing feature column so each backend re-gathers
+        the embedding slice from *its own* (possibly corrupted) table.
+        Labels come from the clean ground truth, so a corrupted arm's NE
+        rises exactly as the campaign measures it.
+        """
+        pipeline = self
+
+        class _Adapter:
+            def sample(self, num_requests, seed=1, rng=None):
+                if rng is not None:
+                    seed = int(rng.integers(2**31))
+                slice_ = pipeline.sample(num_requests, seed=seed)
+                features = np.concatenate(
+                    [slice_.dense, slice_.indices[:, None].astype(np.float64)],
+                    axis=1,
+                )
+                return features, slice_.labels
+
+        return _Adapter()
+
+    def backend(self, state: Optional[PipelineState] = None) -> Backend:
+        """Wrap a (possibly corrupted) pipeline state as an A/B-test
+        backend for the :meth:`ab_model` adapter's traffic: the trailing
+        feature column is the embedding index, everything before it the
+        dense features."""
+        state = state or self.clean_state()
+
+        def predict(features: np.ndarray) -> np.ndarray:
+            features = np.asarray(features)
+            slice_ = RequestSlice(
+                dense=features[:, :-1],
+                indices=features[:, -1].astype(np.intp),
+                labels=np.zeros(len(features)),
+            )
+            return self.serve(slice_, state).predictions
+
+        return predict
+
+
+__all__ = [
+    "CtrServingPipeline",
+    "PipelineState",
+    "RequestSlice",
+    "ServeResult",
+    "FP16_SATURATE",
+    "LOGIT_GUARD",
+    "EMBED_GUARD_MARGIN",
+]

@@ -86,6 +86,24 @@ class TestReliabilityStudies:
         again = run_overclocking_study(num_chips=200, seed=1)
         assert first == again
 
+    def test_run_overclocking_study_explicit_rng_wins(self):
+        """An explicit generator overrides the seed (the
+        server_sim convention), consumed in a defined order."""
+        first = run_overclocking_study(
+            num_chips=200, rng=np.random.default_rng(21), seed=999
+        )
+        again = run_overclocking_study(
+            num_chips=200, rng=np.random.default_rng(21), seed=0
+        )
+        assert first == again
+
+    def test_run_overclocking_study_default_matches_historical_seed(self):
+        """The no-argument call keeps reproducing the pre-seed-threading
+        numbers (default_rng(0))."""
+        assert run_overclocking_study(num_chips=200) == run_overclocking_study(
+            num_chips=200, seed=0
+        )
+
     def test_sensitivity_study(self):
         first = sensitivity_study(trials_per_region=20, seed=5)
         again = sensitivity_study(trials_per_region=20, seed=5)
@@ -142,6 +160,33 @@ class TestFleetStudies:
         first = run_ab_test(model, backend, backend, num_requests=5_000, seed=11)
         again = run_ab_test(model, backend, backend, num_requests=5_000, seed=11)
         assert first == again
+        assert first != run_ab_test(
+            model, backend, backend, num_requests=5_000, seed=12
+        )
+
+    def test_run_ab_test_explicit_rng_wins(self):
+        """An explicit generator overrides the seed, so the same generator
+        state gives the same traffic slice regardless of the seed."""
+        model = SyntheticCtrModel(seed=0)
+        backend = model.exact_backend()
+        first = run_ab_test(
+            model, backend, backend, num_requests=5_000,
+            rng=np.random.default_rng(3), seed=999,
+        )
+        again = run_ab_test(
+            model, backend, backend, num_requests=5_000,
+            rng=np.random.default_rng(3), seed=11,
+        )
+        assert first == again
+
+    def test_run_ab_test_default_matches_historical_seed(self):
+        """The default call keeps reproducing the pre-seed-threading
+        traffic (default_rng(11))."""
+        model = SyntheticCtrModel(seed=0)
+        backend = model.exact_backend()
+        assert run_ab_test(
+            model, backend, backend, num_requests=5_000
+        ) == run_ab_test(model, backend, backend, num_requests=5_000, seed=11)
 
 
 class TestResilienceDeterminism:

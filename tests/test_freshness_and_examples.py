@@ -43,7 +43,8 @@ class TestFreshness:
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "llm_feasibility.py", "capacity_planning.py"],
+    ["quickstart.py", "llm_feasibility.py", "capacity_planning.py",
+     "sdc_campaign.py"],
 )
 def test_fast_examples_run(script):
     """The quick examples execute cleanly end to end (the slow journey

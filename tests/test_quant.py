@@ -7,10 +7,15 @@ from hypothesis import strategies as st
 
 from repro.arch import mtia2i_spec
 from repro.quant import (
+    ACCUMULATOR_DTYPE,
+    INT32_ACC_MAX,
+    accumulate_int8,
+    dequantize_accumulator,
     fc_quantization_report,
     fp16_matmul_error,
     plan_model_quantization,
     quantization_error,
+    quantize_activations,
     quantize_per_group,
     quantize_per_tensor,
     quantize_rowwise,
@@ -99,6 +104,62 @@ def test_rowwise_quantization_bounded_error_property(rows, cols, seed):
     q = quantize_rowwise(x.astype(np.float32))
     steps = np.abs(q.dequantize() - x.astype(np.float32)) / np.maximum(q.scales, 1e-12)
     assert np.max(steps) <= 0.5 + 1e-3
+
+
+class TestWideAccumulation:
+    """The explicit-accumulator refactor: INT8 x INT8 accumulates in a
+    wide dtype and asserts the 32-bit hardware range loudly."""
+
+    def test_accumulator_dtype_and_exactness(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-127, 128, size=(8, 32)).astype(np.int8)
+        w = rng.integers(-127, 128, size=(32, 4)).astype(np.int8)
+        acc = accumulate_int8(x, w)
+        assert acc.dtype == ACCUMULATOR_DTYPE
+        assert np.array_equal(acc, x.astype(np.int64) @ w.astype(np.int64))
+
+    def test_overflow_raises_loudly(self):
+        """Worst-case operands one element past the 32-bit range must
+        raise, not wrap — the silent-corruption mode the assertion
+        exists to exclude."""
+        k = INT32_ACC_MAX // (127 * 127) + 1
+        x = np.full((1, k), 127, dtype=np.int8)
+        w = np.full((k, 1), 127, dtype=np.int8)
+        with pytest.raises(OverflowError):
+            accumulate_int8(x, w)
+
+    def test_worst_case_inside_range_accumulates(self):
+        k = INT32_ACC_MAX // (127 * 127) - 1
+        x = np.full((1, k), 127, dtype=np.int8)
+        w = np.full((k, 1), -127, dtype=np.int8)
+        acc = accumulate_int8(x, w)
+        assert acc[0, 0] == -k * 127 * 127
+
+    def test_quantized_matmul_decomposition_consistent(self):
+        """quantized_matmul is exactly quantize -> accumulate ->
+        dequantize; the refactor changed structure, not numerics."""
+        rng = np.random.default_rng(1)
+        x = _skewed_activations(16, 32, seed=2)
+        w = rng.normal(0, 1, size=(32, 8))
+        qw = quantize_weights_static(w)
+        direct = quantized_matmul(x, qw)
+        qx = quantize_activations(x)
+        manual = dequantize_accumulator(
+            accumulate_int8(qx.values, qw.values), qx.scales, qw.scales
+        )
+        assert np.array_equal(direct, manual)
+
+    def test_activation_mode_dispatch(self):
+        x = _skewed_activations(8, 16)
+        assert np.array_equal(
+            quantize_activations(x, "tensor").values, quantize_per_tensor(x).values
+        )
+        assert np.array_equal(
+            quantize_activations(x, "group:4").values,
+            quantize_per_group(x, 4).values,
+        )
+        with pytest.raises(ValueError):
+            quantize_activations(x, "per-banana")
 
 
 class TestQuantAnalysis:

@@ -93,6 +93,28 @@ class TestSecded:
             assert result.double_error_detected, f"bits {bit},{overall} missed"
             assert not result.corrected
 
+    def test_every_single_bit_error_corrected_word_corpus(self):
+        """Exhaustive single-flip property over a corpus of edge-case
+        words: all 72 positions correct back to the stored word."""
+        for word in (0, (1 << 64) - 1, 0xDEADBEEF12345678, 0x8000_0000_0000_0001):
+            code = encode_word(word)
+            for bit in range(72):
+                result = decode_word(code ^ (1 << bit))
+                assert result.data == word, f"word {word:#x} bit {bit}"
+                assert result.corrected
+                assert not result.double_error_detected
+
+    def test_every_double_error_detected_exhaustively(self):
+        """All C(72, 2) = 2556 double flips are flagged
+        detected-uncorrectable — never miscorrected, never clean."""
+        word = 0x0123456789ABCDEF
+        code = encode_word(word)
+        for a in range(72):
+            for b in range(a + 1, 72):
+                result = decode_word(code ^ (1 << a) ^ (1 << b))
+                assert result.double_error_detected, f"bits {a},{b} missed"
+                assert not result.corrected
+
     def test_double_error_never_reports_clean(self):
         """No double flip may decode as 'no error': that would be the
         silent corruption SECDED exists to prevent."""
