@@ -3,7 +3,14 @@
 Every benchmark regenerates one of the paper's tables or figures.  The
 regenerated rows are written to ``benchmarks/out/<name>.txt`` (and
 echoed to stdout) so the paper-versus-measured comparison in
-EXPERIMENTS.md can be refreshed from the artifacts.
+EXPERIMENTS.md can be refreshed from the artifacts; the headline
+*scalars* are additionally written to ``benchmarks/out/<name>.json``
+via ``record_json`` so ``python -m repro bench`` can aggregate them
+into ``BENCH_results.json`` and diff runs against each other.
+
+Both artifact kinds are deterministic: text ends with exactly one
+trailing newline, JSON is sorted-key/fixed-indent, so two identical
+runs produce byte-identical files.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.obs.bench import dump_json, normalize_text, write_scalars
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -22,10 +31,28 @@ def record():
     def _record(name: str, text: str) -> None:
         OUT_DIR.mkdir(exist_ok=True)
         path = OUT_DIR / f"{name}.txt"
-        path.write_text(text if text.endswith("\n") else text + "\n")
+        path.write_text(normalize_text(text))
         print(f"\n=== {name} ===\n{text}")
 
     return _record
+
+
+@pytest.fixture()
+def record_json():
+    """Write a benchmark's key scalars to ``out/<name>.json``.
+
+    ``scalars`` must be a flat mapping of finite ints/floats — the
+    machine-readable counterpart of the ``record`` table, consumed by
+    ``python -m repro bench``.
+    """
+
+    def _record_json(name: str, scalars) -> None:
+        document_path = write_scalars(OUT_DIR, name, scalars)
+        print(f"\n=== {name}.json ===\n"
+              f"{dump_json({'scalars': dict(scalars)})}"
+              f"-> {document_path}")
+
+    return _record_json
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,43 @@
+"""The benchmark artifacts are byte-stable across identical runs.
+
+Two invocations of the ``record`` / ``record_json`` fixtures with the
+same payload must produce byte-identical files — text ends with exactly
+one trailing newline regardless of what the caller passed, and JSON is
+sorted-key/fixed-indent.  This is what makes ``BENCH_results.json``
+diffable run-over-run.
+"""
+
+import conftest
+
+
+def _with_out_dir(monkeypatch, tmp_path):
+    monkeypatch.setattr(conftest, "OUT_DIR", tmp_path)
+
+
+def test_record_text_byte_stable(record, monkeypatch, tmp_path):
+    _with_out_dir(monkeypatch, tmp_path)
+    record("stability", "row 1\nrow 2")
+    first = (tmp_path / "stability.txt").read_bytes()
+    record("stability", "row 1\nrow 2")
+    assert (tmp_path / "stability.txt").read_bytes() == first
+    assert first.endswith(b"2\n")
+    assert not first.endswith(b"\n\n")
+
+
+def test_record_normalizes_trailing_newlines(record, monkeypatch, tmp_path):
+    _with_out_dir(monkeypatch, tmp_path)
+    record("bare", "text")
+    record("padded", "text\n\n\n")
+    assert (tmp_path / "bare.txt").read_bytes() == b"text\n"
+    assert (tmp_path / "padded.txt").read_bytes() == b"text\n"
+
+
+def test_record_json_byte_stable_across_key_order(
+    record_json, monkeypatch, tmp_path
+):
+    _with_out_dir(monkeypatch, tmp_path)
+    record_json("stability", {"beta": 2.0, "alpha": 1.0})
+    first = (tmp_path / "stability.json").read_bytes()
+    record_json("stability", {"alpha": 1.0, "beta": 2.0})
+    assert (tmp_path / "stability.json").read_bytes() == first
+    assert first.endswith(b"}\n")

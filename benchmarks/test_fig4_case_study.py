@@ -17,7 +17,7 @@ from conftest import once
 from repro.core.casestudy import run_case_study
 
 
-def test_fig4_case_study(benchmark, record):
+def test_fig4_case_study(benchmark, record, record_json):
     stages = once(benchmark, run_case_study)
     lines = [
         f"{'month':>5}  {'variant':7}  {'stage':36}  {'Perf/TCO':>8}  {'Perf/Watt':>9}"
@@ -55,3 +55,9 @@ def test_fig4_case_study(benchmark, record):
         "(paper: ~0.5x -> ~1.8x)"
     )
     record("fig4_case_study", "\n".join(lines))
+    record_json("fig4_case_study", {
+        "initial_perf_per_tco": first.perf_per_tco,
+        "final_perf_per_tco": last.perf_per_tco,
+        "final_perf_per_watt": last.perf_per_watt,
+        "ibb_throughput_gain": ibb_gain,
+    })

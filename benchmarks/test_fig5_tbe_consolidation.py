@@ -45,7 +45,7 @@ def _run():
     return separate, merged, slo_separate, slo_merged
 
 
-def test_fig5_tbe_consolidation(benchmark, record):
+def test_fig5_tbe_consolidation(benchmark, record, record_json):
     separate, merged, slo_separate, slo_merged = once(benchmark, _run)
     p99_sep = separate.latency_percentile(99)
     p99_con = merged.latency_percentile(99)
@@ -75,3 +75,10 @@ def test_fig5_tbe_consolidation(benchmark, record):
         == PROFILE.remote_time_s * PROFILE.remote_jobs_per_batch
     )
     record("fig5_tbe_consolidation", "\n".join(lines))
+    record_json("fig5_tbe_consolidation", {
+        "p99_separate_s": p99_sep,
+        "p99_consolidated_s": p99_con,
+        "p99_improvement_s": p99_sep - p99_con,
+        "slo_throughput_gain": tput_gain,
+        "slo_samples_per_s_consolidated": slo_merged.served_samples_per_s,
+    })

@@ -32,7 +32,7 @@ def _sweep():
     return rows
 
 
-def test_sec33_gemm_efficiency(benchmark, record):
+def test_sec33_gemm_efficiency(benchmark, record, record_json):
     rows = benchmark(_sweep)
     lines = [f"{'shape':>18} {'tuned eff':>10} {'naive eff':>10} {'naive issue-bound':>18}"]
     for shape, tuned, naive, issue_bound in rows:
@@ -48,3 +48,9 @@ def test_sec33_gemm_efficiency(benchmark, record):
     # Small shapes run further from peak even when tuned.
     assert by_shape["128x128x128"][0] < by_shape["4096x4096x4096"][0]
     record("sec33_gemm_efficiency", "\n".join(lines))
+    record_json("sec33_gemm_efficiency", {
+        "tuned_eff_2048": by_shape["2048x2048x2048"][0],
+        "naive_eff_2048": by_shape["2048x2048x2048"][1],
+        "tuned_eff_128": by_shape["128x128x128"][0],
+        "tuned_eff_4096": by_shape["4096x4096x4096"][0],
+    })

@@ -19,7 +19,7 @@ def _sweep():
     return rows
 
 
-def test_sec36_llm_feasibility(benchmark, record):
+def test_sec36_llm_feasibility(benchmark, record, record_json):
     rows = benchmark(_sweep)
     lines = [f"{'model':12} {'chip':16} {'prefill':>9} {'decode':>9} {'viable':>7}"]
     verdicts = {}
@@ -44,3 +44,9 @@ def test_sec36_llm_feasibility(benchmark, record):
     assert verdicts[("Llama2-7B", gpu)].viable
     assert verdicts[("Llama3-8B", gpu)].viable
     record("sec36_llm_feasibility", "\n".join(lines))
+    record_json("sec36_llm_feasibility", {
+        "llama2_7b_mtia_prefill_s": v7.prefill_latency_s,
+        "llama2_7b_mtia_decode_s": v7.decode_latency_s,
+        "llama3_8b_mtia_prefill_s": v8.prefill_latency_s,
+        "llama3_8b_mtia_decode_s": v8.decode_latency_s,
+    })

@@ -42,7 +42,7 @@ def _measure():
     return tuner, coalescing
 
 
-def test_sec41_autotune(benchmark, record):
+def test_sec41_autotune(benchmark, record, record_json):
     tuner, coalescing = once(benchmark, _measure)
     best = coalescing.best
     lines = [
@@ -62,3 +62,10 @@ def test_sec41_autotune(benchmark, record):
     assert best.outcome.mean_fill_fraction > 0.6
     assert best.outcome.meets_slo
     record("sec41_autotune", "\n".join(lines))
+    record_json("sec41_autotune", {
+        "evaluation_speedup": tuner.evaluation_speedup,
+        "mean_quality_gap": tuner.mean_quality_gap,
+        "max_quality_gap": tuner.max_quality_gap,
+        "best_fill_fraction": best.outcome.mean_fill_fraction,
+        "best_p99_latency_s": best.outcome.p99_latency_s,
+    })

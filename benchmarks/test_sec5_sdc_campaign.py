@@ -24,7 +24,7 @@ def _measure():
     return config, result
 
 
-def test_sec5_sdc_campaign(benchmark, record):
+def test_sec5_sdc_campaign(benchmark, record, record_json):
     config, result = benchmark(_measure)
     escape = triple_flip_escape_rate(samples=400, seed=0)
     lines = [
@@ -58,3 +58,14 @@ def test_sec5_sdc_campaign(benchmark, record):
     coverages = [s.coverage for s in result.profiles]
     assert coverages == sorted(coverages)
     record("sec5_sdc_campaign", "\n".join(lines))
+    ecc_abft = result.summary_for("ecc+abft")
+    record_json("sec5_sdc_campaign", {
+        "clean_ne": result.clean_ne,
+        "undetected_impacting_ratio": ratio,
+        "triple_flip_escape_rate": escape,
+        "full_coverage": result.summary_for("full").coverage,
+        "ecc_abft_coverage": ecc_abft.coverage,
+        "ecc_abft_undetected_ne_impacting": float(
+            ecc_abft.undetected_ne_impacting
+        ),
+    })

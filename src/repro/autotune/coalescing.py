@@ -9,8 +9,10 @@ configuration achieves near-full batches (>95% requests per batch).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+import time
+from typing import List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, active
 from repro.serving.batcher import CoalescingConfig
 from repro.serving.scheduler import ModelJobProfile
 from repro.serving.simulator import (
@@ -47,9 +49,21 @@ def tune_coalescing(
     p99_slo_s: float = DEFAULT_P99_SLO_S,
     samples_per_request: int = 256,
     duration_s: float = 20.0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> CoalescingTuningResult:
-    """Sweep (window, parallelism) and keep the highest SLO-throughput."""
+    """Sweep (window, parallelism) and keep the highest SLO-throughput.
+
+    An attached registry records the sweep's progress: configs
+    evaluated, per-config wall time (so configs/sec falls out of the
+    histogram), and the best-so-far SLO-throughput curve
+    (``autotune.coalescing.*``).
+    """
+    obs = active(registry)
+    configs_evaluated = obs.counter("autotune.coalescing.configs_evaluated")
+    eval_wall = obs.histogram("autotune.coalescing.config_eval_s")
+    best_curve = obs.series("autotune.coalescing.best_so_far_samples_per_s")
     candidates: List[CoalescingCandidate] = []
+    best_so_far = -1.0
     for window in windows_s:
         for parallel in parallel_windows:
             config = CoalescingConfig(
@@ -57,6 +71,7 @@ def tune_coalescing(
                 max_parallel_windows=parallel,
                 max_batch_samples=max_batch_samples,
             )
+            started = time.perf_counter() if obs.enabled else 0.0
             outcome = max_throughput_under_slo(
                 profile,
                 config,
@@ -66,5 +81,15 @@ def tune_coalescing(
                 iterations=6,
             )
             candidates.append(CoalescingCandidate(config=config, outcome=outcome))
+            configs_evaluated.inc()
+            if obs.enabled:
+                eval_wall.observe(time.perf_counter() - started)
+                if outcome.served_samples_per_s > best_so_far:
+                    best_so_far = outcome.served_samples_per_s
+                best_curve.append(len(candidates), best_so_far)
     best = max(candidates, key=lambda c: c.outcome.served_samples_per_s)
+    if obs.enabled:
+        obs.gauge("autotune.coalescing.best_fill_fraction").set(
+            best.outcome.mean_fill_fraction
+        )
     return CoalescingTuningResult(best=best, candidates=candidates)

@@ -9,6 +9,9 @@ Commands:
 * ``trace``      — execute a zoo model and write a Chrome trace JSON
 * ``resilience`` — run the section 5.5 fleet-resilience drill
 * ``sdc``        — run the silent-data-corruption injection campaign
+* ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
+  and fail on regressions against the previous snapshot or the pinned
+  golden values
 """
 
 from __future__ import annotations
@@ -31,6 +34,14 @@ _LLMS = {
     "llama3-8b": "llama3_8b",
     "llama3-70b": "llama3_70b",
 }
+
+# The CI subset: fast enough for every push, still covering the three
+# headline claims (kernel efficiency, serving consolidation, SDC ladder).
+_SMOKE_BENCHMARKS = (
+    "test_sec33_gemm_efficiency.py",
+    "test_fig5_tbe_consolidation.py",
+    "test_sec5_sdc_campaign.py",
+)
 
 
 def _zoo_model(name: str):
@@ -179,6 +190,88 @@ def cmd_sdc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+    import pathlib
+    import subprocess
+    import time
+
+    from repro.obs.bench import (
+        aggregate,
+        diff_results,
+        golden_violations,
+        load_results,
+        write_results,
+    )
+
+    bench_dir = pathlib.Path(args.dir)
+    if not bench_dir.is_dir():
+        raise SystemExit(f"benchmark directory {bench_dir} not found "
+                         "(run from the repository root or pass --dir)")
+    if args.smoke:
+        files = [bench_dir / name for name in _SMOKE_BENCHMARKS]
+    else:
+        files = sorted(bench_dir.glob("test_*.py"))
+    missing = [f.name for f in files if not f.is_file()]
+    if missing:
+        raise SystemExit("missing benchmark files: " + ", ".join(missing))
+    names = [f.stem[len("test_"):] for f in files]
+
+    runtimes = {}
+    if not args.no_run:
+        env = dict(os.environ)
+        src_dir = str(pathlib.Path(__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        for file, name in zip(files, names):
+            started = time.perf_counter()
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", str(file), "-q",
+                 "-p", "no:cacheprovider"],
+                env=env,
+            )
+            runtimes[name] = time.perf_counter() - started
+            if proc.returncode != 0:
+                raise SystemExit(
+                    f"benchmark {file.name} failed (exit {proc.returncode})"
+                )
+            print(f"[bench] {name}: {runtimes[name]:.1f} s")
+
+    results = aggregate(bench_dir / "out", runtimes)
+    selected = set(names)
+    results["benchmarks"] = {
+        name: entry for name, entry in results["benchmarks"].items()
+        if name in selected
+    }
+    recorded = sorted(results["benchmarks"])
+    if not recorded:
+        raise SystemExit(f"no scalar artifacts under {bench_dir / 'out'} "
+                         "(did the benchmarks run?)")
+    print(f"[bench] aggregated {len(recorded)} benchmarks: "
+          + ", ".join(recorded))
+
+    failed = False
+    baseline = load_results(args.baseline)
+    if baseline is None:
+        print(f"[bench] no baseline at {args.baseline}; skipping diff")
+    else:
+        diff = diff_results(baseline, results, rel_tol=args.rel_tol)
+        print(f"[bench] diff vs {args.baseline}:")
+        for line in diff.report().splitlines():
+            print(f"  {line}")
+        failed = failed or not diff.clean
+
+    violations = golden_violations(results)
+    for violation in violations:
+        print(f"[bench] GOLDEN VIOLATION {violation}")
+    failed = failed or bool(violations)
+
+    write_results(results, args.out)
+    print(f"[bench] wrote {args.out}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -232,6 +325,24 @@ def build_parser() -> argparse.ArgumentParser:
     sdc.add_argument("--smoke", action="store_true",
                      help="small fixed-size campaign (60 trials) for CI")
     sdc.set_defaults(func=cmd_sdc)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmarks, aggregate BENCH_results.json, flag regressions",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="run only the fast CI subset")
+    bench.add_argument("--dir", default="benchmarks",
+                       help="benchmark directory (default: benchmarks)")
+    bench.add_argument("--out", default="BENCH_results.json",
+                       help="aggregated results path")
+    bench.add_argument("--baseline", default="BENCH_results.json",
+                       help="previous snapshot to diff against")
+    bench.add_argument("--rel-tol", type=float, default=0.05,
+                       help="relative tolerance for the snapshot diff")
+    bench.add_argument("--no-run", action="store_true",
+                       help="aggregate existing out/*.json without running")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

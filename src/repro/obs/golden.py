@@ -1,0 +1,60 @@
+"""Pinned golden values for the reproduction's headline claims.
+
+Every entry pins one benchmark scalar as ``(value, rel_tol)``: the
+value a seeded run of this repository produces today, and the relative
+tolerance inside which future runs must stay.  ``python -m repro bench``
+checks any benchmark it aggregates against this table, and the tier-1
+golden tests (``tests/test_golden_values.py``) pin the same claims
+directly, so a refactor cannot silently drift them.
+
+Tolerances are deliberately explicit per scalar: count-derived ratios
+(e.g. the SDC 57x undetected-reduction) are exact under a fixed seed but
+get a generous band so a one-count shift across numpy versions reads as
+drift, not noise; simulator-derived latencies get a few percent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# benchmark name -> scalar key -> (pinned value, relative tolerance).
+GOLDEN_SCALARS: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "sec5_sdc_campaign": {
+        # Paper section 5: the protection ladder's headline — ECC+ABFT
+        # leaves 57x fewer undetected NE-impacting corruptions than no
+        # protection, and the full profile leaves none.
+        "undetected_impacting_ratio": (57.0, 0.10),
+        "clean_ne": (0.6373322319208822, 1e-6),
+        "full_coverage": (1.0, 1e-9),
+        "triple_flip_escape_rate": (1.0, 0.05),
+    },
+    "sec33_gemm_efficiency": {
+        # Paper section 3.3: >92% of peak for 2K GEMMs with the new
+        # instructions; the naive variant sits far below.
+        "tuned_eff_2048": (0.9697106440677966, 0.01),
+        "naive_eff_2048": (0.3998806779661017, 0.02),
+    },
+    "sec41_autotune": {
+        # Paper section 4.1: ANN tuning ~1000x cheaper at equal kernel
+        # quality; coalescing reaches near-full batches (our measured
+        # fill — the paper's '>95% requests per batch' claim label).
+        "evaluation_speedup": (1152.0, 0.05),
+        "mean_quality_gap": (0.0, 1.0),
+        "best_fill_fraction": (0.8869534201826197, 0.02),
+    },
+    "fig5_tbe_consolidation": {
+        # Paper figure 5: consolidation buys ~13 ms of P99.
+        "p99_improvement_s": (0.013298990385909093, 0.05),
+        "p99_separate_s": (0.1040694926401855, 0.02),
+    },
+    "fig4_case_study": {
+        # Paper figure 4: ~0.5x -> well above parity Perf/TCO.
+        "initial_perf_per_tco": (0.5835563561129902, 0.02),
+        "final_perf_per_tco": (1.448328115712702, 0.02),
+    },
+    "sec36_llm_feasibility": {
+        # Paper section 3.6: Llama2-7B decode misses 60 ms/token.
+        "llama2_7b_mtia_decode_s": (0.08234887529411765, 0.02),
+        "llama2_7b_mtia_prefill_s": (0.28058835310403013, 0.02),
+    },
+}

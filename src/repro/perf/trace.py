@@ -6,14 +6,27 @@ each op, with the per-level memory times attached as arguments.  This is
 the profiling view performance engineers use to see where a model's
 batch time goes — the same workflow the paper's co-design loop ran on
 real hardware traces.
+
+The document itself is assembled by the unified writer in
+:mod:`repro.obs.tracing` (shared with the fleet-resilience timeline);
+``trace_metadata`` and ``write_trace_json`` are re-exported from there
+for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Dict, List
+from typing import Dict
 
+from repro.obs.tracing import TraceWriter, trace_metadata, write_trace_json
 from repro.perf.executor import ExecutionReport
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summarize_trace",
+    "trace_metadata",
+    "write_trace_json",
+]
 
 # Lane assignment: group ops by their bottleneck resource.
 _LANES = {
@@ -27,35 +40,6 @@ _LANES = {
 }
 
 
-def trace_metadata(process_name: str, lanes: Dict[str, int], pid: int = 0) -> List[Dict]:
-    """Chrome-trace metadata events naming a process and its lanes.
-
-    Shared by the executor trace below and the fleet-resilience trace
-    (:mod:`repro.resilience.trace`): any timeline that wants to render in
-    Perfetto builds its lane naming through this helper.
-    """
-    metadata: List[Dict] = [
-        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": process_name}}
-    ]
-    metadata.extend(
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": pid,
-            "tid": tid,
-            "args": {"name": label},
-        }
-        for label, tid in lanes.items()
-    )
-    return metadata
-
-
-def write_trace_json(document: Dict, path: str) -> None:
-    """Write any Chrome trace-event document to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=1)
-
-
 def to_chrome_trace(report: ExecutionReport) -> Dict:
     """Build a Chrome trace-event JSON object from a report.
 
@@ -63,43 +47,35 @@ def to_chrome_trace(report: ExecutionReport) -> Dict:
     schedule is sequential at op granularity); each event carries the
     cost breakdown so hovering shows why the op took that long.
     """
-    events: List[Dict] = []
+    writer = TraceWriter(f"{report.chip_name}: {report.model_name}")
+    for label, tid in _LANES.items():
+        writer.lane(f"bottleneck: {label}", tid=tid)
     cursor_us = 0.0
     for index, profile in enumerate(report.op_profiles):
         duration_us = profile.time_s * 1e6
-        events.append(
-            {
-                "name": profile.op_name,
-                "cat": profile.op_type,
-                "ph": "X",
-                "ts": round(cursor_us, 3),
-                "dur": round(duration_us, 3),
-                "pid": 0,
-                "tid": _LANES.get(profile.bottleneck, 0),
-                "args": {
-                    "bottleneck": profile.bottleneck,
-                    "compute_us": round(profile.compute_s * 1e6, 3),
-                    "issue_us": round(profile.issue_s * 1e6, 3),
-                    "dram_us": round(profile.dram_s * 1e6, 3),
-                    "sram_us": round(profile.sram_s * 1e6, 3),
-                    "noc_us": round(profile.noc_s * 1e6, 3),
-                    "host_us": round(profile.host_s * 1e6, 3),
-                    "launch_us": round(profile.launch_s * 1e6, 3),
-                    "dram_bytes": int(profile.dram_bytes),
-                    "flops": profile.flops,
-                    "schedule_index": index,
-                },
-            }
+        writer.complete(
+            name=profile.op_name,
+            cat=profile.op_type,
+            ts=round(cursor_us, 3),
+            dur=round(duration_us, 3),
+            tid=_LANES.get(profile.bottleneck, 0),
+            args={
+                "bottleneck": profile.bottleneck,
+                "compute_us": round(profile.compute_s * 1e6, 3),
+                "issue_us": round(profile.issue_s * 1e6, 3),
+                "dram_us": round(profile.dram_s * 1e6, 3),
+                "sram_us": round(profile.sram_s * 1e6, 3),
+                "noc_us": round(profile.noc_s * 1e6, 3),
+                "host_us": round(profile.host_s * 1e6, 3),
+                "launch_us": round(profile.launch_s * 1e6, 3),
+                "dram_bytes": int(profile.dram_bytes),
+                "flops": profile.flops,
+                "schedule_index": index,
+            },
         )
         cursor_us += duration_us
-    metadata = trace_metadata(
-        f"{report.chip_name}: {report.model_name}",
-        {f"bottleneck: {lane}": tid for lane, tid in _LANES.items()},
-    )
-    return {
-        "traceEvents": metadata + events,
-        "displayTimeUnit": "ms",
-        "otherData": {
+    return writer.document(
+        other_data={
             "chip": report.chip_name,
             "model": report.model_name,
             "batch": report.batch,
@@ -108,7 +84,7 @@ def to_chrome_trace(report: ExecutionReport) -> Dict:
             "dense_hit_rate": round(report.dense_hit_rate, 4),
             "sparse_hit_rate": round(report.sparse_hit_rate, 4),
         },
-    }
+    )
 
 
 def write_chrome_trace(report: ExecutionReport, path: str) -> None:

@@ -40,6 +40,7 @@ from repro.resilience.faults import (
     fault_rates_from_reliability,
     presample_fault_arrivals,
 )
+from repro.obs.metrics import MetricsRegistry, active
 from repro.resilience.metrics import (
     IntervalMetrics,
     ResilienceReport,
@@ -126,10 +127,15 @@ class ResilienceSimulator:
         config: ResilienceConfig,
         rates: Optional[FaultRates] = None,
         policies: Optional[ResiliencePolicies] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.rates = rates if rates is not None else fault_rates_from_reliability()
         self.policies = policies if policies is not None else ResiliencePolicies.production()
+        # Observability only: the registry never touches the RNG or the
+        # event heap, so seeded runs are byte-identical with or without
+        # it (pinned by the trace-hash regression test).
+        self._obs = active(registry)
         self._rng = np.random.default_rng(config.seed)
         self._devices: Dict[int, Device] = {
             i: Device(device_id=i, degraded_scale=config.degraded_scale)
@@ -160,6 +166,7 @@ class ResilienceSimulator:
 
     def _emit(self, time_s: float, kind: EventKind,
               device_id: Optional[int] = None, **detail: float) -> None:
+        self._obs.counter("resilience.events." + kind.value).inc()
         self._log.append(
             Event(time_s=time_s, kind=kind, device_id=device_id, detail=detail)
         )
@@ -306,6 +313,7 @@ class ResilienceSimulator:
             return
         device.transition(DeviceState.REBOOTING, time_s)
         reboot_s = drain.sample_reboot_s(self._rng)
+        self._obs.histogram("resilience.reboot_duration_s").observe(reboot_s)
         self._emit(time_s, EventKind.REBOOT_START, device.device_id,
                    reboot_s=reboot_s)
         self._push(time_s + reboot_s, "reboot_done", device.device_id,
@@ -349,6 +357,20 @@ class ResilienceSimulator:
             corrupted_samples_per_s=corrupted_per_s,
         )
         self._intervals.append(metrics)
+        if self._obs.enabled:
+            self._obs.gauge("resilience.goodput_fraction").set(
+                metrics.goodput_fraction
+            )
+            self._obs.gauge("resilience.wedged_devices").set(metrics.wedged)
+            self._obs.histogram("resilience.retry_amplification").observe(
+                metrics.retry_amplification
+            )
+            self._obs.histogram("resilience.interval_p99_s").observe(
+                metrics.p99_latency_s
+            )
+            self._obs.series("resilience.goodput_curve").append(
+                time_s, metrics.goodput_fraction
+            )
         if metrics.shed_fraction > 0 and not self._last_shedding:
             self._emit(time_s, EventKind.LOAD_SHED,
                        shed_fraction=metrics.shed_fraction)
@@ -408,8 +430,10 @@ def run_resilience(
     config: Optional[ResilienceConfig] = None,
     rates: Optional[FaultRates] = None,
     policies: Optional[ResiliencePolicies] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ResilienceReport:
     """One-call entry point: simulate a pool and return the report."""
     return ResilienceSimulator(
-        config or ResilienceConfig(), rates=rates, policies=policies
+        config or ResilienceConfig(), rates=rates, policies=policies,
+        registry=registry,
     ).run()

@@ -1,8 +1,8 @@
 """Chrome-trace export of a resilience run.
 
 Renders a :class:`~repro.resilience.metrics.ResilienceReport` as a
-Perfetto / ``chrome://tracing`` timeline through the same writer the
-executor traces use (:mod:`repro.perf.trace`):
+Perfetto / ``chrome://tracing`` timeline through the unified writer in
+:mod:`repro.obs.tracing` (the same one the executor traces use):
 
 * one lane per device that experienced an incident, with duration spans
   for its wedged/degraded/draining/rebooting episodes;
@@ -17,9 +17,9 @@ Times are exported in trace microseconds with 1 simulated second =
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.perf.trace import trace_metadata, write_trace_json
+from repro.obs.tracing import TraceWriter, write_trace_json
 
 from repro.resilience.events import EventKind
 from repro.resilience.metrics import ResilienceReport
@@ -52,63 +52,50 @@ _POOL_MARKERS = {
 
 def to_resilience_trace(report: ResilienceReport) -> Dict:
     """Build the Chrome trace-event document for one run."""
-    events: List[Dict] = []
+    writer = TraceWriter(
+        f"resilience: {report.num_devices} devices, seed {report.seed}"
+    )
+    writer.lane("pool", tid=_POOL_LANE)
     open_span: Dict[int, Optional[Dict]] = {}
-    lanes: Dict[str, int] = {"pool": _POOL_LANE}
 
     def lane_for(device_id: int) -> int:
-        label = f"device {device_id}"
-        if label not in lanes:
-            lanes[label] = _POOL_LANE + 1 + device_id
-        return lanes[label]
+        return writer.lane(f"device {device_id}", tid=_POOL_LANE + 1 + device_id)
 
     def close_span(device_id: int, now_s: float) -> None:
         span = open_span.get(device_id)
         if span is None:
             return
-        events.append(
-            {
-                "name": span["name"],
-                "cat": "device_state",
-                "ph": "X",
-                "ts": round(span["start_s"], 6),
-                "dur": round(max(0.0, now_s - span["start_s"]), 6),
-                "pid": 0,
-                "tid": lane_for(device_id),
-                "args": span["args"],
-            }
+        writer.complete(
+            name=span["name"],
+            cat="device_state",
+            ts=round(span["start_s"], 6),
+            dur=round(max(0.0, now_s - span["start_s"]), 6),
+            tid=lane_for(device_id),
+            args=span["args"],
         )
         open_span[device_id] = None
 
     for event in report.events:
         if event.device_id is None:
             if event.kind in _POOL_MARKERS:
-                events.append(
-                    {
-                        "name": event.kind.value,
-                        "cat": "pool",
-                        "ph": "i",
-                        "s": "g",
-                        "ts": round(event.time_s, 6),
-                        "pid": 0,
-                        "tid": _POOL_LANE,
-                        "args": dict(event.detail),
-                    }
+                writer.instant(
+                    name=event.kind.value,
+                    cat="pool",
+                    scope="g",
+                    ts=round(event.time_s, 6),
+                    tid=_POOL_LANE,
+                    args=dict(event.detail),
                 )
             continue
         device_id = event.device_id
         if event.kind == EventKind.FAULT_SDC:
-            events.append(
-                {
-                    "name": "sdc",
-                    "cat": "fault",
-                    "ph": "i",
-                    "s": "t",
-                    "ts": round(event.time_s, 6),
-                    "pid": 0,
-                    "tid": lane_for(device_id),
-                    "args": dict(event.detail),
-                }
+            writer.instant(
+                name="sdc",
+                cat="fault",
+                scope="t",
+                ts=round(event.time_s, 6),
+                tid=lane_for(device_id),
+                args=dict(event.detail),
             )
             continue
         if event.kind in _SPAN_CLOSERS:
@@ -127,26 +114,18 @@ def to_resilience_trace(report: ResilienceReport) -> Dict:
 
     for metrics in report.intervals:
         ts = round(metrics.time_s, 6)
-        events.append(
-            {"name": "goodput_fraction", "ph": "C", "ts": ts, "pid": 0,
-             "args": {"goodput": round(metrics.goodput_fraction, 4)}}
+        writer.counter(
+            "goodput_fraction", ts,
+            {"goodput": round(metrics.goodput_fraction, 4)},
         )
-        events.append(
-            {"name": "wedged_devices", "ph": "C", "ts": ts, "pid": 0,
-             "args": {"wedged": metrics.wedged}}
-        )
-        events.append(
-            {"name": "p99_latency_ms", "ph": "C", "ts": ts, "pid": 0,
-             "args": {"p99": round(metrics.p99_latency_s * 1e3, 3)}}
+        writer.counter("wedged_devices", ts, {"wedged": metrics.wedged})
+        writer.counter(
+            "p99_latency_ms", ts,
+            {"p99": round(metrics.p99_latency_s * 1e3, 3)},
         )
 
-    metadata = trace_metadata(
-        f"resilience: {report.num_devices} devices, seed {report.seed}", lanes
-    )
-    return {
-        "traceEvents": metadata + events,
-        "displayTimeUnit": "ms",
-        "otherData": {
+    return writer.document(
+        other_data={
             "devices": report.num_devices,
             "duration_s": report.duration_s,
             "seed": report.seed,
@@ -157,7 +136,7 @@ def to_resilience_trace(report: ResilienceReport) -> Dict:
                 report.unavailability_device_minutes, 1
             ),
         },
-    }
+    )
 
 
 def write_resilience_trace(report: ResilienceReport, path: str) -> None:

@@ -23,6 +23,7 @@ import dataclasses
 from typing import Dict, Optional, Tuple
 
 from repro.fleet.abtest import normalized_entropy
+from repro.obs.metrics import MetricsRegistry, active
 from repro.reliability.ecc import ECC_THROUGHPUT_PENALTY, hashing_integrity_overhead
 from repro.sdc.detectors import (
     ProtectionProfile,
@@ -188,6 +189,7 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     profiles: Optional[Tuple[ProtectionProfile, ...]] = None,
     pipeline: Optional[CtrServingPipeline] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> CampaignResult:
     """Run one seeded campaign over every profile.
 
@@ -195,8 +197,13 @@ def run_campaign(
     shared across profiles (profiles differ only in which verdicts they
     *consult*), so the none/ecc/ecc+abft/full rows are guaranteed to
     face byte-identical corruptions.
+
+    An attached registry records per-detector catch-latency histograms
+    and per-profile detection counters (``sdc.*``); the campaign result
+    is identical either way.
     """
     config = config or CampaignConfig()
+    obs = active(registry)
     pipeline = pipeline or CtrServingPipeline(seed=config.seed)
     profiles = profiles or standard_profiles()
 
@@ -299,6 +306,16 @@ def run_campaign(
             detector_counts[outcome.detector] = (
                 detector_counts.get(outcome.detector, 0) + 1
             )
+        if obs.enabled:
+            name = profile.name
+            obs.counter(f"sdc.{name}.detected").inc(len(detected))
+            obs.counter(f"sdc.{name}.undetected").inc(
+                len(outcomes) - len(detected)
+            )
+            for outcome in detected:
+                obs.histogram(
+                    f"sdc.catch_latency_s.{outcome.detector}"
+                ).observe(outcome.latency_s)
         summaries.append(
             ProfileSummary(
                 profile=profile,

@@ -15,8 +15,9 @@ which is how an undersized window count inflates tail latency.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, active
 from repro.serving.workload import Request
 
 
@@ -60,8 +61,20 @@ class _Window:
     samples: int
 
 
-def coalesce(requests: Sequence[Request], config: CoalescingConfig) -> List[Batch]:
-    """Form batches from an arrival-ordered request stream."""
+def coalesce(
+    requests: Sequence[Request],
+    config: CoalescingConfig,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[Batch]:
+    """Form batches from an arrival-ordered request stream.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, the
+    coalescer reports wait-queue depth per arrival plus batch fill,
+    per-request wait, and emit counts (``serving.batcher.*``); the
+    formed batches are identical either way.
+    """
+    obs = active(registry)
+    queue_depth = obs.histogram("serving.batcher.wait_queue_depth")
     ordered = sorted(requests, key=lambda r: r.arrival_s)
     open_windows: List[_Window] = []
     batches: List[Batch] = []
@@ -96,6 +109,7 @@ def coalesce(requests: Sequence[Request], config: CoalescingConfig) -> List[Batc
 
     for request in ordered:
         now = request.arrival_s
+        queue_depth.observe(float(len(waiting)))
         close_expired(now)
         # Waiting requests re-try as windows free up.
         still_waiting = []
@@ -110,7 +124,17 @@ def coalesce(requests: Sequence[Request], config: CoalescingConfig) -> List[Batc
     close_expired(final_time + config.window_s)
     for queued in waiting:
         batches.append(Batch(requests=[queued], formed_at_s=final_time))
-    return sorted(batches, key=lambda b: b.formed_at_s)
+    batches = sorted(batches, key=lambda b: b.formed_at_s)
+    if obs.enabled:
+        fill = obs.histogram("serving.batcher.batch_fill")
+        wait = obs.histogram("serving.batcher.request_wait_s")
+        for batch in batches:
+            fill.observe(min(1.0, batch.samples / config.max_batch_samples))
+            for member in batch.requests:
+                wait.observe(batch.formed_at_s - member.arrival_s)
+        obs.counter("serving.batcher.requests_coalesced").inc(len(ordered))
+        obs.counter("serving.batcher.batches_emitted").inc(len(batches))
+    return batches
 
 
 @dataclasses.dataclass(frozen=True)

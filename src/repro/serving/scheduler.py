@@ -15,8 +15,9 @@ execution times, the gains coming purely from scheduling.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, active
 from repro.serving.batcher import Batch
 
 
@@ -125,7 +126,9 @@ class ScheduleResult:
 
 
 def schedule_batches(
-    batches: Sequence[Batch], profile: ModelJobProfile
+    batches: Sequence[Batch],
+    profile: ModelJobProfile,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ScheduleResult:
     """FIFO job scheduling of a batch stream on a single device.
 
@@ -135,7 +138,12 @@ def schedule_batches(
     depends on all of its batch's remote jobs — so FIFO order interleaves
     a later batch's remotes ahead of an earlier batch's merge exactly as
     the paper's traces showed.
+
+    An attached registry sees the runnable-queue depth at every dispatch
+    plus job counts and final utilization (``serving.scheduler.*``).
     """
+    obs = active(registry)
+    runnable_depth = obs.histogram("serving.scheduler.runnable_depth")
     jobs: List[_Job] = []
     merge_jobs: Dict[int, _Job] = {}
     for index, batch in enumerate(batches):
@@ -176,6 +184,7 @@ def schedule_batches(
             time = max(time, min(future))
             continue
         # FIFO by (current) queue-entry time.
+        runnable_depth.observe(float(len(runnable)))
         job = min(runnable, key=lambda j: j.enqueue_s)
         job.start_s = time
         job.finish_s = time + job.duration_s
@@ -203,4 +212,11 @@ def schedule_batches(
             )
         )
     makespan = max((j.finish_s for j in jobs), default=0.0)
-    return ScheduleResult(completions=completions, device_busy_s=busy, makespan_s=makespan)
+    result = ScheduleResult(
+        completions=completions, device_busy_s=busy, makespan_s=makespan
+    )
+    if obs.enabled:
+        obs.counter("serving.scheduler.jobs_dispatched").inc(len(jobs))
+        obs.gauge("serving.scheduler.utilization").set(result.utilization)
+        obs.gauge("serving.scheduler.makespan_s").set(makespan)
+    return result

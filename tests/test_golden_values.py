@@ -1,0 +1,132 @@
+"""Golden-value regression tests for the reproduction's headline claims.
+
+Each test pins a seeded measurement with an explicit tolerance so a
+refactor cannot silently move a number the paper comparison rests on.
+The same claims are pinned on the benchmark side by
+:data:`repro.obs.golden.GOLDEN_SCALARS`; these run in tier-1 so drift is
+caught before the benchmarks ever run.
+
+Tolerances: count-derived ratios under a fixed seed are exact, so they
+get equality or a tight relative band; simulator latencies get a couple
+of percent for cross-platform float slack.
+"""
+
+import pytest
+
+from repro.sdc import CampaignConfig, run_campaign
+from repro.serving import (
+    CoalescingConfig,
+    ModelJobProfile,
+    max_throughput_under_slo,
+)
+from repro.serving.faults import (
+    PoolState,
+    headroom_for_fault_tolerance,
+    inject_device_faults,
+)
+
+
+class TestSdcGoldens:
+    """Section 5: the protection ladder's headline numbers (seed 0)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(CampaignConfig(trials=400, requests=8000, seed=0))
+
+    def test_undetected_reduction_is_57x(self, result):
+        # The flagship claim: ECC+ABFT leaves 57x fewer undetected
+        # NE-impacting corruptions than running unprotected.
+        assert result.undetected_impacting_ratio() == pytest.approx(
+            57.0, rel=1e-9
+        )
+
+    def test_clean_ne_pinned(self, result):
+        assert result.clean_ne == pytest.approx(0.6373322319208822, rel=1e-6)
+
+    def test_full_profile_leaves_no_silent_impact(self, result):
+        full = result.summary_for("full")
+        assert full.coverage == 1.0
+        assert full.undetected_ne_impacting == 0
+
+    def test_coverage_ladder_counts_pinned(self, result):
+        # (coverage, undetected, undetected-NE-impacting) per profile.
+        ladder = {
+            s.profile.name: (s.coverage, s.undetected, s.undetected_ne_impacting)
+            for s in result.profiles
+        }
+        assert ladder["none"] == (0.0, 400, 57)
+        assert ladder["ecc"] == (pytest.approx(0.6125), 155, 44)
+        assert ladder["ecc+abft"] == (pytest.approx(0.94), 24, 1)
+        assert ladder["full"] == (1.0, 0, 0)
+
+
+class TestHeadroomGoldens:
+    """Section 5.4/5.5: closed-form headroom equals exhaustive search."""
+
+    def _exhaustive(self, pool, fault_rate, max_delay_factor=1.5):
+        target_utilization = 1.0 - 1.0 / max_delay_factor
+        total = pool.devices
+        while True:
+            impact = inject_device_faults(
+                PoolState(total, pool.device_throughput, pool.offered_load),
+                fault_rate,
+            )
+            if (not impact.after.overloaded
+                    and impact.after.utilization <= target_utilization):
+                return total - pool.devices
+            total += 1
+
+    def test_closed_form_matches_exhaustive_search(self):
+        for devices in (10, 37, 128, 300):
+            for fault_rate in (0.0, 0.001, 0.01, 0.05, 0.2):
+                for utilization in (0.5, 0.75, 0.9):
+                    pool = PoolState(
+                        devices=devices,
+                        device_throughput=1000.0,
+                        offered_load=devices * 1000.0 * utilization,
+                    )
+                    assert headroom_for_fault_tolerance(
+                        pool, fault_rate
+                    ) == self._exhaustive(pool, fault_rate), (
+                        devices, fault_rate, utilization,
+                    )
+
+    def test_reference_pool_headroom_pinned(self):
+        # The section 5.5 incident shape: 300 devices at 85% utilization
+        # facing a 0.1% wedge incidence needs 466 extra devices to keep
+        # queueing delay under 1.5x (the 1.5x budget caps utilization at
+        # 1/3, so the pool must more than double).
+        pool = PoolState(
+            devices=300, device_throughput=1000.0, offered_load=255_000.0
+        )
+        assert headroom_for_fault_tolerance(pool, 0.001) == 466
+
+
+class TestCoalescingGoldens:
+    """Section 4.1: tuned coalescing reaches near-full batches.
+
+    The paper's claim label is '>95% requests per batch'; our simulator's
+    tuned configuration measures ~92% mean fill (see EXPERIMENTS.md for
+    the paper-vs-measured discussion), and that measured value is what
+    gets pinned.
+    """
+
+    def test_tuned_fill_fraction_pinned(self):
+        outcome = max_throughput_under_slo(
+            ModelJobProfile(
+                remote_time_s=0.002,
+                merge_time_s=0.004,
+                remote_jobs_per_batch=2,
+                dispatch_overhead_s=0.0005,
+            ),
+            CoalescingConfig(
+                window_s=0.030, max_parallel_windows=4, max_batch_samples=1024
+            ),
+            duration_s=10.0,
+            iterations=5,
+        )
+        assert outcome.meets_slo
+        assert outcome.mean_fill_fraction == pytest.approx(
+            0.9230967930385044, rel=0.02
+        )
+        assert outcome.mean_fill_fraction > 0.6

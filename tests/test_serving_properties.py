@@ -1,0 +1,119 @@
+"""Property-based tests for request coalescing (section 4.1).
+
+Hypothesis drives ``serving.batcher.coalesce`` with randomized request
+streams and coalescing configs and checks the invariants that hold for
+*every* input, not just the seeded streams the integration tests use:
+
+* conservation — every request appears in exactly one emitted batch;
+* capacity — no batch exceeds ``max_batch_samples`` (given no single
+  request does; an oversized request legitimately opens its own window);
+* causality — a batch forms no earlier than any member's arrival;
+* order — batches come out sorted by formation time.
+"""
+
+from collections import Counter as TallyCounter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.serving import CoalescingConfig, Request, coalesce, poisson_stream
+
+MAX_BATCH_SAMPLES = 64
+
+configs = st.builds(
+    CoalescingConfig,
+    window_s=st.floats(min_value=1e-4, max_value=0.5,
+                       allow_nan=False, allow_infinity=False),
+    max_parallel_windows=st.integers(min_value=1, max_value=8),
+    max_batch_samples=st.just(MAX_BATCH_SAMPLES),
+)
+
+# Streams as (inter-arrival gap, samples) pairs: gaps keep arrivals
+# non-negative and monotone-ish without hypothesis fighting sortedness.
+streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.2,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=MAX_BATCH_SAMPLES),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _build_requests(stream):
+    requests = []
+    clock = 0.0
+    for i, (gap, samples) in enumerate(stream):
+        clock += gap
+        requests.append(Request(arrival_s=clock, samples=samples, request_id=i))
+    return requests
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=streams, config=configs)
+def test_no_request_lost_or_duplicated(stream, config):
+    requests = _build_requests(stream)
+    batches = coalesce(requests, config)
+    emitted = TallyCounter(
+        member.request_id for batch in batches for member in batch.requests
+    )
+    assert emitted == TallyCounter(r.request_id for r in requests)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=streams, config=configs)
+def test_batches_respect_capacity(stream, config):
+    requests = _build_requests(stream)
+    for batch in coalesce(requests, config):
+        assert batch.samples <= config.max_batch_samples
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=streams, config=configs)
+def test_batches_form_after_their_members_arrive(stream, config):
+    requests = _build_requests(stream)
+    for batch in coalesce(requests, config):
+        for member in batch.requests:
+            assert batch.formed_at_s >= member.arrival_s
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=streams, config=configs)
+def test_batches_sorted_by_formation_time(stream, config):
+    requests = _build_requests(stream)
+    formed = [b.formed_at_s for b in coalesce(requests, config)]
+    assert formed == sorted(formed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=streams, config=configs)
+def test_attached_registry_never_changes_batching(stream, config):
+    requests = _build_requests(stream)
+    bare = coalesce(requests, config)
+    observed = coalesce(requests, config, registry=MetricsRegistry())
+    assert [
+        ([m.request_id for m in b.requests], b.formed_at_s) for b in bare
+    ] == [
+        ([m.request_id for m in b.requests], b.formed_at_s) for b in observed
+    ]
+
+
+def test_seeded_poisson_stream_invariants_hold_at_scale():
+    # One deterministic large-scale pass over the same invariants.
+    config = CoalescingConfig(
+        window_s=0.02, max_parallel_windows=4, max_batch_samples=1024
+    )
+    requests = poisson_stream(
+        rate_per_s=200, duration_s=30, samples_per_request=256, seed=5
+    )
+    batches = coalesce(requests, config)
+    emitted = TallyCounter(
+        m.request_id for batch in batches for m in batch.requests
+    )
+    assert emitted == TallyCounter(r.request_id for r in requests)
+    assert all(b.samples <= config.max_batch_samples for b in batches)
+    assert all(
+        b.formed_at_s >= m.arrival_s for b in batches for m in b.requests
+    )
