@@ -1,0 +1,84 @@
+"""Cluster capacity planning: hosts vs QPS at the P99 SLO (sections 4-5).
+
+The fleet-level provisioning artifact: for each front-door routing
+policy, the replicas a ranking model needs to hold its P99 SLO across
+offered request rates, plus the two policy-ordering shapes the golden
+values pin — power-of-two-choices beating round-robin on tail latency
+at high utilization, and locality-aware routing eliminating cross-host
+embedding traffic that queue-blind JSQ pays for.
+"""
+
+from conftest import once
+
+from repro.cluster import (
+    capacity_sweep,
+    default_service_model,
+    locality_comparison,
+    policy_comparison,
+)
+
+QPS_POINTS = (100.0, 200.0, 300.0)
+TARGET_UTILIZATION = 0.85
+
+
+def _run():
+    service = default_service_model()
+    sweep = capacity_sweep(service, qps_points=QPS_POINTS, duration_s=30.0)
+    tails = policy_comparison(
+        service, target_utilization=TARGET_UTILIZATION, duration_s=60.0
+    )
+    shards = locality_comparison(service, duration_s=60.0)
+    return service, sweep, tails, shards
+
+
+def test_cluster_capacity(benchmark, record, record_json):
+    service, sweep, tails, shards = once(benchmark, _run)
+
+    po2 = tails["po2"]
+    round_robin = tails["round_robin"]
+    jsq_sharded = shards["jsq"]
+    locality = shards["locality"]
+
+    lines = [sweep.table(), ""]
+    lines.append(
+        f"{'policy':14} {'P99 latency':>12} {'utilization':>12}"
+        f"  (identical traffic, {TARGET_UTILIZATION:.0%} target)"
+    )
+    for name, report in tails.items():
+        lines.append(
+            f"{name:14} {report.p99_latency_s * 1e3:9.1f} ms "
+            f"{report.utilization:11.0%}"
+        )
+    lines.append("")
+    lines.append(
+        f"cross-host embedding traffic: jsq "
+        f"{jsq_sharded.cross_host_fraction:.1%} vs locality-aware "
+        f"{locality.cross_host_fraction:.1%}"
+    )
+
+    # Shape checks — the two orderings the issue pins as golden.
+    assert all(report.utilization >= 0.80 for report in tails.values())
+    assert po2.p99_latency_s < round_robin.p99_latency_s
+    assert locality.cross_host_fraction < jsq_sharded.cross_host_fraction
+    assert jsq_sharded.cross_host_fraction > 0.5
+    assert locality.cross_host_fraction < 0.05
+    # Queue-aware policies never need more replicas than round-robin.
+    for qps in QPS_POINTS:
+        rr_needed = sweep.point("round_robin", qps).replicas
+        assert sweep.point("po2", qps).replicas <= rr_needed
+        assert sweep.point("jsq", qps).replicas <= rr_needed
+    # Conservation held in every run (ClusterReport enforces it too).
+    for report in list(tails.values()) + list(shards.values()):
+        assert report.served + report.shed == report.offered
+
+    record("cluster_capacity", "\n".join(lines))
+    scalars = dict(sweep.scalars())
+    scalars.update({
+        "mean_service_s": service.mean_service_s,
+        "p99_round_robin_s": round_robin.p99_latency_s,
+        "p99_po2_s": po2.p99_latency_s,
+        "p99_jsq_s": tails["jsq"].p99_latency_s,
+        "cross_host_fraction_jsq": jsq_sharded.cross_host_fraction,
+        "cross_host_fraction_locality": locality.cross_host_fraction,
+    })
+    record_json("cluster_capacity", scalars)

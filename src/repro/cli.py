@@ -8,6 +8,9 @@ Commands:
 * ``casestudy``  — replay the Figure 4 optimization journey
 * ``trace``      — execute a zoo model and write a Chrome trace JSON
 * ``resilience`` — run the section 5.5 fleet-resilience drill
+* ``cluster``    — run the multi-host serving-tier simulator: routing
+  policy comparison, shard-locality probe, capacity sweep, and the
+  autoscaled diurnal day
 * ``sdc``        — run the silent-data-corruption injection campaign
 * ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
   and fail on regressions against the previous snapshot or the pinned
@@ -41,6 +44,7 @@ _SMOKE_BENCHMARKS = (
     "test_sec33_gemm_efficiency.py",
     "test_fig5_tbe_consolidation.py",
     "test_sec5_sdc_campaign.py",
+    "test_cluster_capacity.py",
 )
 
 
@@ -145,6 +149,80 @@ def cmd_resilience(args: argparse.Namespace) -> int:
             print(f"  day {event.time_s / 86_400.0:6.2f}  {event.kind.value:18} {detail}")
     if args.trace:
         write_resilience_trace(drill.mitigated, args.trace)
+        print(f"\nwrote {args.trace} (open in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        POLICY_NAMES,
+        autoscaled_day,
+        capacity_sweep,
+        default_service_model,
+        locality_comparison,
+        policy_comparison,
+    )
+    from repro.obs.tracing import TraceWriter
+
+    service = default_service_model()
+    policies = POLICY_NAMES if args.policy == "all" else (args.policy,)
+    if args.smoke:
+        qps_points, sweep_duration, probe_duration = [100.0], 10.0, 15.0
+    else:
+        qps_points = [float(q) for q in args.qps]
+        sweep_duration, probe_duration = args.duration, 60.0
+    print(f"service model: mean {service.mean_service_s * 1e3:.1f} ms/request, "
+          f"{service.capacity_per_replica():.0f} req/s/replica, "
+          f"cross-host penalty {service.cross_host_penalty:.2f}x")
+
+    print("\n1) routing policies on identical traffic "
+          f"({args.replicas} replicas at {args.utilization:.0%} utilization)")
+    reports = policy_comparison(
+        service, replicas=args.replicas,
+        target_utilization=args.utilization,
+        policies=policies, duration_s=probe_duration, seed=args.seed,
+    )
+    for name, report in reports.items():
+        print(f"   {name:12} p50 {report.p50_latency_s * 1e3:6.1f} ms  "
+              f"p99 {report.p99_latency_s * 1e3:6.1f} ms  "
+              f"util {report.utilization:.0%}  "
+              f"shed {report.shed_fraction:.2%}")
+
+    print("\n2) shard locality: queue-blind JSQ vs locality-aware routing")
+    locality_reports = locality_comparison(
+        service, replicas=args.replicas, duration_s=probe_duration,
+        seed=args.seed,
+    )
+    for name, report in locality_reports.items():
+        print(f"   {name:12} cross-host {report.cross_host_fraction:6.1%}  "
+              f"p99 {report.p99_latency_s * 1e3:6.1f} ms")
+
+    print(f"\n3) capacity sweep (seed {args.seed})")
+    sweep = capacity_sweep(
+        service, qps_points, policies=policies,
+        p99_slo_s=args.slo_ms / 1e3, duration_s=sweep_duration,
+        seed=args.seed,
+    )
+    for line in sweep.table().splitlines():
+        print(f"   {line}")
+
+    print("\n4) autoscaled diurnal day (compressed)")
+    tracer = TraceWriter("repro.cluster") if args.trace else None
+    day_length = 900.0 if args.smoke else 3600.0
+    report, model = autoscaled_day(
+        service,
+        day_length_s=day_length,
+        policy=args.policy if args.policy != "all" else "po2",
+        fault_rate_per_replica_hour=args.fault_rate,
+        seed=args.seed,
+        tracer=tracer,
+    )
+    print(f"   traffic: mean {model.mean_rate_per_s:.0f} req/s, "
+          f"peak {model.peak_rate_per_s:.0f} req/s over {day_length:.0f} s")
+    for line in report.summary().splitlines():
+        print(f"   {line}")
+    if args.trace:
+        tracer.write(args.trace)
         print(f"\nwrote {args.trace} (open in Perfetto or chrome://tracing)")
     return 0
 
@@ -315,6 +393,32 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--trace", default=None, metavar="PATH",
                             help="write the mitigated run as a Chrome trace")
     resilience.set_defaults(func=cmd_resilience)
+
+    cluster = sub.add_parser(
+        "cluster", help="run the multi-host serving-tier simulator"
+    )
+    cluster.add_argument("--policy",
+                         choices=["all", "round_robin", "jsq", "po2", "locality"],
+                         default="all")
+    cluster.add_argument("--qps", type=float, nargs="+",
+                         default=[100.0, 200.0, 300.0],
+                         help="offered-QPS points for the capacity sweep")
+    cluster.add_argument("--replicas", type=int, default=12,
+                         help="replica count for the policy comparison")
+    cluster.add_argument("--utilization", type=float, default=0.85,
+                         help="target utilization for the policy comparison")
+    cluster.add_argument("--duration", type=float, default=40.0,
+                         help="simulated seconds per capacity-sweep cell")
+    cluster.add_argument("--slo-ms", type=float, default=100.0,
+                         help="P99 latency SLO for the capacity sweep")
+    cluster.add_argument("--fault-rate", type=float, default=0.0,
+                         help="replica faults per replica-hour in the day run")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--smoke", action="store_true",
+                         help="small fixed-size run for CI")
+    cluster.add_argument("--trace", default=None, metavar="PATH",
+                         help="write the autoscaled day as a Chrome trace")
+    cluster.set_defaults(func=cmd_cluster)
 
     sdc = sub.add_parser(
         "sdc", help="run the silent-data-corruption injection campaign"

@@ -1,0 +1,72 @@
+"""The multi-host serving tier: routing, autoscaling, capacity planning.
+
+Everything below this package models one device or one host; this is
+where the reproduction becomes a *fleet*: a traffic front door routing
+requests across replica sets (round-robin, JSQ, power-of-two-choices,
+shard-locality-aware), admission control and load shedding under
+overload, a reactive + predictive autoscaler placing replicas through
+the NUMA-aware allocator, replica faults at the section 5 reliability
+rates, and the capacity-planning sweep production provisioning runs —
+hosts needed versus offered QPS at a fixed P99 SLO.
+"""
+
+from repro.cluster.admission import AdmissionConfig
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.capacity import (
+    CapacityPoint,
+    CapacitySweep,
+    autoscaled_day,
+    capacity_sweep,
+    locality_comparison,
+    policy_comparison,
+    replicas_needed,
+)
+from repro.cluster.locality import ShardLocalityMap
+from repro.cluster.provisioning import HostPool, ReplicaGrant
+from repro.cluster.routing import (
+    POLICY_NAMES,
+    LeastOutstandingPolicy,
+    LocalityAwarePolicy,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    make_policy,
+)
+from repro.cluster.service import ServiceModel, default_service_model
+from repro.cluster.simulator import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterSimulator,
+    fault_rate_from_reliability,
+    run_cluster,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "CapacityPoint",
+    "CapacitySweep",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSimulator",
+    "HostPool",
+    "LeastOutstandingPolicy",
+    "LocalityAwarePolicy",
+    "POLICY_NAMES",
+    "PowerOfTwoPolicy",
+    "ReplicaGrant",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "ServiceModel",
+    "ShardLocalityMap",
+    "autoscaled_day",
+    "capacity_sweep",
+    "default_service_model",
+    "fault_rate_from_reliability",
+    "locality_comparison",
+    "make_policy",
+    "policy_comparison",
+    "replicas_needed",
+    "run_cluster",
+]

@@ -1,0 +1,39 @@
+"""Admission control and load shedding at the cluster front door.
+
+Under overload the serving tier must bound queueing rather than let
+latency grow without limit (the paper's section 5.5 incident shows what
+unbounded backlog does to a pool): a replica stops being an admissible
+routing target once its outstanding count reaches the per-replica cap,
+and a request that finds no admissible replica at all is shed — counted,
+never silently dropped.  An optional total-outstanding cap models a
+global front-door token limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionConfig:
+    """The front door's overload limits."""
+
+    max_outstanding_per_replica: int = 16
+    max_total_outstanding: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding_per_replica < 1:
+            raise ValueError("per-replica outstanding cap must be at least 1")
+        if self.max_total_outstanding is not None and self.max_total_outstanding < 1:
+            raise ValueError("total outstanding cap must be at least 1")
+
+    def replica_admissible(self, outstanding: int) -> bool:
+        """Whether a replica at ``outstanding`` may take another request."""
+        return outstanding < self.max_outstanding_per_replica
+
+    def tier_admissible(self, total_outstanding: int) -> bool:
+        """Whether the tier as a whole may admit another request."""
+        if self.max_total_outstanding is None:
+            return True
+        return total_outstanding < self.max_total_outstanding

@@ -1,0 +1,144 @@
+"""Front-door routing policies: which replica takes the next request.
+
+Each policy sees the currently *admissible* replicas (up, below the
+admission queue cap) and picks one.  The menu is the classic load-balancer
+ladder the capacity sweep compares:
+
+* **round_robin** — cycle through replicas, blind to queue state;
+* **jsq** (join-shortest-queue / least-outstanding) — global minimum of
+  outstanding requests; optimal with perfect state, expensive to know at
+  scale;
+* **po2** (power of two choices) — sample two replicas, queue the less
+  loaded; nearly JSQ's tail at a fraction of the state, the standard
+  production compromise;
+* **locality** — keep a request on a replica holding its embedding
+  shard (least-outstanding within the shard group), spilling to
+  power-of-two across the whole set only when the local group is deep in
+  queue — trading a little balance for avoiding cross-host sparse
+  lookups.
+
+Policies are deliberately stateful-but-seedless: any randomness comes
+from the simulator's generator passed into ``choose``, so one seed fixes
+the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+POLICY_NAMES = ("round_robin", "jsq", "po2", "locality")
+
+
+class ReplicaView(Protocol):
+    """What a routing policy may observe about a replica."""
+
+    replica_id: int
+    shard: int
+
+    @property
+    def outstanding(self) -> int: ...
+
+
+class RoutingPolicy:
+    """Base: pick one of ``candidates`` for a request with ``shard_id``."""
+
+    name = "base"
+
+    def choose(
+        self,
+        candidates: Sequence[ReplicaView],
+        shard_id: int,
+        rng: np.random.Generator,
+    ) -> Optional[ReplicaView]:
+        raise NotImplementedError
+
+
+def _least_outstanding(candidates: Sequence[ReplicaView]) -> ReplicaView:
+    return min(candidates, key=lambda r: (r.outstanding, r.replica_id))
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through replicas regardless of queue state."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, candidates, shard_id, rng):
+        if not candidates:
+            return None
+        chosen = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return chosen
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Join the shortest queue (global least-outstanding, ties by id)."""
+
+    name = "jsq"
+
+    def choose(self, candidates, shard_id, rng):
+        if not candidates:
+            return None
+        return _least_outstanding(candidates)
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Sample two distinct replicas, queue the less loaded one."""
+
+    name = "po2"
+
+    def choose(self, candidates, shard_id, rng):
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        first, second = rng.choice(len(candidates), size=2, replace=False)
+        return _least_outstanding([candidates[int(first)], candidates[int(second)]])
+
+
+class LocalityAwarePolicy(RoutingPolicy):
+    """Prefer replicas holding the request's shard; spill under pressure.
+
+    ``spill_outstanding`` is the local-group queue depth beyond which the
+    policy gives up on locality for this request and falls back to
+    power-of-two over every admissible replica (the spilled request then
+    pays the cross-host penalty, which the simulator accounts).
+    """
+
+    name = "locality"
+
+    def __init__(self, spill_outstanding: int = 8) -> None:
+        if spill_outstanding < 1:
+            raise ValueError("spill threshold must be at least 1")
+        self.spill_outstanding = spill_outstanding
+        self._fallback = PowerOfTwoPolicy()
+
+    def choose(self, candidates, shard_id, rng):
+        if not candidates:
+            return None
+        local = [r for r in candidates if r.shard == shard_id]
+        if local:
+            best = _least_outstanding(local)
+            if best.outstanding < self.spill_outstanding:
+                return best
+        return self._fallback.choose(candidates, shard_id, rng)
+
+
+def make_policy(name: str, spill_outstanding: int = 8) -> RoutingPolicy:
+    """Instantiate a routing policy by its sweep name."""
+    policies = {
+        "round_robin": RoundRobinPolicy,
+        "jsq": LeastOutstandingPolicy,
+        "po2": PowerOfTwoPolicy,
+    }
+    if name == "locality":
+        return LocalityAwarePolicy(spill_outstanding=spill_outstanding)
+    if name not in policies:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose one of {POLICY_NAMES}"
+        )
+    return policies[name]()

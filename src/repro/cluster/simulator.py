@@ -1,0 +1,595 @@
+"""The multi-host serving-tier simulator: front door to replica pool.
+
+An event-driven composition of everything below it in the stack:
+
+* traffic from :mod:`repro.serving.workload` (Poisson or the diurnal +
+  bursty stream);
+* a front door routing each request to one replica through a pluggable
+  :mod:`repro.cluster.routing` policy, under
+  :mod:`repro.cluster.admission` overload control;
+* per-replica single-server queues whose service times come from
+  :class:`~repro.cluster.service.ServiceModel` (calibrated from the
+  device-level serving profiles);
+* embedding-shard locality via
+  :class:`~repro.cluster.locality.ShardLocalityMap` — serving a request
+  off-shard costs the cross-host penalty;
+* a reactive + predictive :class:`~repro.cluster.autoscaler.Autoscaler`
+  placing and releasing replicas through
+  :class:`~repro.cluster.provisioning.HostPool`;
+* replica-stopping faults at rates from the section 5 reliability
+  models (:func:`repro.resilience.faults.fault_rates_from_reliability`),
+  with reboot times from the resilience drain policy.
+
+The engine is the same discipline as :mod:`repro.resilience.simulator`:
+one event heap keyed ``(time, sequence)``, every random draw from one
+seeded generator in a fixed order, so a seed fully determines the run —
+the property tests assert byte-identical event logs.  An attached
+:class:`~repro.obs.metrics.MetricsRegistry` or
+:class:`~repro.obs.tracing.TraceWriter` observes without steering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.admission import AdmissionConfig
+from repro.cluster.autoscaler import Autoscaler
+from repro.cluster.locality import ShardLocalityMap
+from repro.cluster.provisioning import HostPool, ReplicaGrant
+from repro.cluster.routing import RoutingPolicy, make_policy
+from repro.cluster.service import ServiceModel
+from repro.fleet.allocator import AllocationError
+from repro.obs.metrics import MetricsRegistry, active
+from repro.obs.tracing import TraceWriter
+from repro.resilience.policies import DrainPolicy
+from repro.serving.simulator import DEFAULT_P99_SLO_S
+from repro.serving.workload import Request
+
+
+def fault_rate_from_reliability() -> float:
+    """Replica-stopping faults per replica-hour, from the section 5
+    reliability models (the deadlock family — the one that wedges a
+    host until reboot)."""
+    from repro.resilience.faults import fault_rates_from_reliability
+
+    return fault_rates_from_reliability().deadlock_per_device_hour
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster run's shape: replicas, policy, limits, faults."""
+
+    replicas: int = 8
+    accelerators_per_replica: int = 1
+    num_hosts: int = 8
+    policy: str = "po2"
+    p99_slo_s: float = DEFAULT_P99_SLO_S
+    admission: AdmissionConfig = dataclasses.field(
+        default_factory=AdmissionConfig
+    )
+    fault_rate_per_replica_hour: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError("need at least one replica")
+        if self.accelerators_per_replica <= 0:
+            raise ValueError("replicas need at least one accelerator")
+        if self.num_hosts <= 0:
+            raise ValueError("need at least one host")
+        if self.p99_slo_s <= 0:
+            raise ValueError("SLO must be positive")
+        if self.fault_rate_per_replica_hour < 0:
+            raise ValueError("fault rate must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterReport:
+    """One cluster run's outcome."""
+
+    policy: str
+    seed: int
+    duration_s: float
+    offered: int
+    served: int
+    shed: int
+    retried: int
+    cross_host_served: int
+    latencies_s: Tuple[float, ...]
+    busy_seconds: float
+    replica_seconds: float
+    peak_replicas: int
+    final_replicas: int
+    faults: int
+    scale_events: Tuple[Tuple[float, int, int], ...]
+    event_log: Tuple[Tuple[float, str, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.served + self.shed != self.offered:
+            raise ValueError(
+                "request conservation violated: "
+                f"{self.served} served + {self.shed} shed != {self.offered}"
+            )
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def cross_host_fraction(self) -> float:
+        """Fraction of served requests whose embedding shard was remote."""
+        return self.cross_host_served / self.served if self.served else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of replica capacity over the run."""
+        return self.busy_seconds / self.replica_seconds if self.replica_seconds else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Exact request-latency percentile (e.g. 99 for P99)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1,
+            int(round(percentile / 100 * (len(ordered) - 1))),
+        )
+        return ordered[index]
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    def meets_slo(self, p99_slo_s: float, max_shed_fraction: float = 0.0) -> bool:
+        """SLO attainment: P99 within budget and shedding bounded."""
+        return (
+            self.p99_latency_s <= p99_slo_s
+            and self.shed_fraction <= max_shed_fraction
+        )
+
+    def summary(self) -> str:
+        """Human-readable digest of the run."""
+        return (
+            f"policy={self.policy} offered={self.offered} "
+            f"served={self.served} shed={self.shed} ({self.shed_fraction:.2%}) "
+            f"retried={self.retried} faults={self.faults}\n"
+            f"p50={self.p50_latency_s * 1e3:.1f} ms "
+            f"p99={self.p99_latency_s * 1e3:.1f} ms "
+            f"util={self.utilization:.0%} "
+            f"cross-host={self.cross_host_fraction:.1%} "
+            f"replicas peak={self.peak_replicas} final={self.final_replicas}"
+        )
+
+
+class _Replica:
+    """One single-server replica queue."""
+
+    __slots__ = (
+        "replica_id", "shard", "state", "grant", "queue", "in_service",
+        "in_service_cross", "service_token", "up_since", "up_seconds",
+    )
+
+    def __init__(self, replica_id: int, shard: int,
+                 grant: Optional[ReplicaGrant], now_s: float) -> None:
+        self.replica_id = replica_id
+        self.shard = shard
+        self.state = "up"  # up | draining | down | retired
+        self.grant = grant
+        self.queue: Deque[Tuple[int, bool]] = deque()
+        self.in_service: Optional[int] = None
+        self.in_service_cross = False
+        # Bumped at each service start so a departure event left behind by
+        # a fault cannot complete a later request (stale-event guard).
+        self.service_token = 0
+        self.up_since: Optional[float] = now_s
+        self.up_seconds = 0.0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + (1 if self.in_service is not None else 0)
+
+    @property
+    def serving(self) -> bool:
+        return self.state in ("up", "draining")
+
+    def accrue_up_time(self, now_s: float) -> None:
+        if self.up_since is not None:
+            self.up_seconds += now_s - self.up_since
+            self.up_since = None
+
+    def mark_up(self, now_s: float) -> None:
+        if self.up_since is None:
+            self.up_since = now_s
+
+
+class ClusterSimulator:
+    """Seeded DES over one model's replica set."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        service: ServiceModel,
+        requests: Sequence[Request],
+        locality: Optional[ShardLocalityMap] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        pool: Optional[HostPool] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[TraceWriter] = None,
+        model_name: str = "model",
+    ) -> None:
+        self.config = config
+        self.service = service
+        self.requests = list(requests)
+        self.locality = locality or ShardLocalityMap.uniform(1)
+        self.autoscaler = autoscaler
+        self.pool = pool or HostPool(config.num_hosts)
+        self.model_name = model_name
+        self.policy: RoutingPolicy = make_policy(config.policy)
+        self._obs = active(registry)
+        self._tracer = tracer
+        self._drain_policy = DrainPolicy()
+        # All randomness flows from here, consumed in a fixed order:
+        # request shards, fault schedule, then event-loop draws.
+        self._rng = np.random.default_rng(config.seed)
+        self._shards = self.locality.sample_shards(len(self.requests), self._rng)
+        self._fault_schedule = self._presample_faults()
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._replicas: Dict[int, _Replica] = {}
+        self._next_replica_id = 0
+        self._target = config.replicas
+        self._now = 0.0
+        # Outcomes.
+        self._latencies: List[float] = []
+        self._admitted_at: Dict[int, float] = {}
+        self._served = 0
+        self._shed = 0
+        self._retried = 0
+        self._cross_served = 0
+        self._faults = 0
+        self._busy_seconds = 0.0
+        self._peak_replicas = 0
+        self._scale_events: List[Tuple[float, int, int]] = []
+        self._event_log: List[Tuple[float, str, int]] = []
+        # Autoscaler window accounting.
+        self._window_offered = 0
+        self._window_busy = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _presample_faults(self) -> List[Tuple[float, int]]:
+        """Poisson fault arrivals per potential replica id, pre-drawn in
+        a fixed order (id-major) so the schedule is seed-pure."""
+        rate_per_s = self.config.fault_rate_per_replica_hour / 3600.0
+        if rate_per_s <= 0 or not self.requests:
+            return []
+        horizon = max(r.arrival_s for r in self.requests)
+        id_space = self.config.replicas
+        if self.autoscaler is not None:
+            id_space = max(id_space, self.autoscaler.config.max_replicas)
+        # Autoscaling churn can push ids past the initial space; arrivals
+        # for ids that never exist are dropped (Poisson thinning).
+        id_space *= 2
+        arrivals: List[Tuple[float, int]] = []
+        for replica_id in range(id_space):
+            t = 0.0
+            while True:
+                t += self._rng.exponential(1.0 / rate_per_s)
+                if t >= horizon:
+                    break
+                arrivals.append((t, replica_id))
+        arrivals.sort()
+        return arrivals
+
+    def _push(self, time_s: float, kind: str, entity: object = -1) -> None:
+        heapq.heappush(self._heap, (time_s, next(self._seq), kind, entity))
+
+    def _emit(self, kind: str, entity: int = -1) -> None:
+        self._obs.counter(f"cluster.events.{kind}").inc()
+        self._event_log.append((self._now, kind, entity))
+
+    def _spawn_replica(self) -> Optional[_Replica]:
+        try:
+            grant = self.pool.acquire(
+                self.model_name, self.config.accelerators_per_replica
+            )
+        except AllocationError:
+            self._emit("pool_exhausted")
+            return None
+        replica_id = self._next_replica_id
+        self._next_replica_id += 1
+        replica = _Replica(
+            replica_id=replica_id,
+            shard=replica_id % self.locality.num_shards,
+            grant=grant,
+            now_s=self._now,
+        )
+        self._replicas[replica_id] = replica
+        if self._tracer is not None:
+            self._tracer.lane(f"replica-{replica_id}")
+        return replica
+
+    def _retire_replica(self, replica: _Replica) -> None:
+        replica.accrue_up_time(self._now)
+        replica.state = "retired"
+        if replica.grant is not None:
+            self.pool.release(replica.grant)
+            replica.grant = None
+        self._emit("replica_retired", replica.replica_id)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Execute the run and return the report.
+
+        Arrivals stop at the traffic horizon; the tier then drains, so
+        every offered request reaches exactly one terminal outcome
+        (served or shed) — the conservation the report asserts.
+        """
+        horizon = max((r.arrival_s for r in self.requests), default=0.0)
+        for replica_id in range(self.config.replicas):
+            self._spawn_replica()
+        self._peak_replicas = len(self._replicas)
+        for index, request in enumerate(self.requests):
+            self._push(request.arrival_s, "arrival", index)
+        for time_s, replica_id in self._fault_schedule:
+            self._push(time_s, "fault", replica_id)
+        if self.autoscaler is not None:
+            tick = self.autoscaler.config.tick_interval_s
+            t = tick
+            while t < horizon:
+                self._push(t, "scale", -1)
+                t += tick
+
+        while self._heap:
+            time_s, _, kind, entity = heapq.heappop(self._heap)
+            self._now = time_s
+            if kind == "arrival":
+                self._on_arrival(entity)
+            elif kind == "depart":
+                self._on_depart(entity)
+            elif kind == "fault":
+                self._on_fault(entity)
+            elif kind == "recover":
+                self._on_recover(entity)
+            elif kind == "scale":
+                self._on_scale()
+
+        for replica in self._replicas.values():
+            replica.accrue_up_time(self._now)
+        replica_seconds = sum(r.up_seconds for r in self._replicas.values())
+        final = sum(1 for r in self._replicas.values() if r.serving)
+        report = ClusterReport(
+            policy=self.config.policy,
+            seed=self.config.seed,
+            duration_s=horizon,
+            offered=len(self.requests),
+            served=self._served,
+            shed=self._shed,
+            retried=self._retried,
+            cross_host_served=self._cross_served,
+            latencies_s=tuple(self._latencies),
+            busy_seconds=self._busy_seconds,
+            replica_seconds=replica_seconds,
+            peak_replicas=self._peak_replicas,
+            final_replicas=final,
+            faults=self._faults,
+            scale_events=tuple(self._scale_events),
+            event_log=tuple(self._event_log),
+        )
+        if self._obs.enabled:
+            self._obs.gauge("cluster.p99_latency_s").set(report.p99_latency_s)
+            self._obs.gauge("cluster.utilization").set(report.utilization)
+            self._obs.gauge("cluster.shed_fraction").set(report.shed_fraction)
+            self._obs.gauge("cluster.cross_host_fraction").set(
+                report.cross_host_fraction
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _total_outstanding(self) -> int:
+        return sum(r.outstanding for r in self._replicas.values() if r.serving)
+
+    def _route(self, index: int, retry: bool) -> None:
+        """Send request ``index`` through the front door."""
+        # Offered demand for the autoscaler: every routing attempt,
+        # including ones that end up shed — an overloaded tier must see
+        # the demand it is turning away, not just what it admitted.
+        self._window_offered += 1
+        admission = self.config.admission
+        shard = int(self._shards[index])
+        candidates = [
+            r for r in self._replicas.values()
+            if r.state == "up" and admission.replica_admissible(r.outstanding)
+        ]
+        if candidates and not admission.tier_admissible(self._total_outstanding()):
+            candidates = []
+        chosen = self.policy.choose(candidates, shard, self._rng) \
+            if candidates else None
+        if chosen is None:
+            self._shed += 1
+            self._admitted_at.pop(index, None)
+            self._emit("shed", index)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "shed", ts=self._now * 1e6,
+                    tid=self._tracer.lane("front-door"),
+                )
+            return
+        if not retry:
+            self._admitted_at[index] = self._now
+            self._obs.counter("cluster.admitted").inc()
+        cross = chosen.shard != shard and self.locality.num_shards > 1
+        if chosen.in_service is None:
+            self._start_service(chosen, index, cross)
+        else:
+            chosen.queue.append((index, cross))
+        self._obs.histogram("cluster.routed_outstanding").observe(
+            float(chosen.outstanding)
+        )
+
+    def _start_service(self, replica: _Replica, index: int, cross: bool) -> None:
+        service_s = self.service.sample(self._rng, cross_host=cross)
+        replica.in_service = index
+        replica.in_service_cross = cross
+        replica.service_token += 1
+        self._push(
+            self._now + service_s, "depart",
+            (replica.replica_id, replica.service_token),
+        )
+        self._busy_seconds += service_s
+        self._window_busy += service_s
+        if self._tracer is not None:
+            self._tracer.complete(
+                f"req-{self.requests[index].request_id}",
+                ts=self._now * 1e6, dur=service_s * 1e6,
+                tid=self._tracer.lane(f"replica-{replica.replica_id}"),
+                cat="service",
+                args={"cross_host": int(cross)},
+            )
+
+    def _on_arrival(self, index: int) -> None:
+        self._route(index, retry=False)
+
+    def _on_depart(self, entity: Tuple[int, int]) -> None:
+        replica_id, token = entity
+        replica = self._replicas[replica_id]
+        if replica.in_service is None or replica.service_token != token:
+            return  # the request was re-routed when this replica faulted
+        index = replica.in_service
+        replica.in_service = None
+        self._admitted_at.pop(index, None)
+        # Latency spans original arrival (not retry time) to completion.
+        start = self.requests[index].arrival_s
+        self._latencies.append(self._now - start)
+        self._served += 1
+        self._emit("serve", index)
+        if replica.in_service_cross:
+            self._cross_served += 1
+            self._obs.counter("cluster.cross_host_served").inc()
+        self._obs.histogram("cluster.request_latency_s").observe(
+            self._now - start
+        )
+        if replica.queue:
+            next_index, next_cross = replica.queue.popleft()
+            self._start_service(replica, next_index, next_cross)
+        elif replica.state == "draining":
+            self._retire_replica(replica)
+
+    def _on_fault(self, replica_id: int) -> None:
+        replica = self._replicas.get(replica_id)
+        if replica is None or not replica.serving:
+            return  # thinning: the id never existed or is already down
+        self._faults += 1
+        was_draining = replica.state == "draining"
+        replica.accrue_up_time(self._now)
+        replica.state = "down"
+        self._emit("fault", replica_id)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "fault", ts=self._now * 1e6,
+                tid=self._tracer.lane(f"replica-{replica_id}"),
+            )
+        # Re-dispatch everything this replica held through the front door.
+        stranded: List[int] = []
+        if replica.in_service is not None:
+            stranded.append(replica.in_service)
+            replica.in_service = None
+        stranded.extend(index for index, _ in replica.queue)
+        replica.queue.clear()
+        for index in stranded:
+            self._retried += 1
+            self._obs.counter("cluster.retries").inc()
+            self._route(index, retry=True)
+        reboot_s = self._drain_policy.sample_reboot_s(self._rng)
+        self._obs.histogram("cluster.reboot_s").observe(reboot_s)
+        if was_draining:
+            # A draining replica that wedges is simply retired post-reboot.
+            self._retire_replica(replica)
+        else:
+            self._push(self._now + reboot_s, "recover", replica_id)
+
+    def _on_recover(self, replica_id: int) -> None:
+        replica = self._replicas[replica_id]
+        if replica.state != "down":
+            return
+        replica.state = "up"
+        replica.mark_up(self._now)
+        self._emit("recover", replica_id)
+
+    def _on_scale(self) -> None:
+        assert self.autoscaler is not None
+        interval = self.autoscaler.config.tick_interval_s
+        serving = [r for r in self._replicas.values() if r.serving]
+        up = [r for r in serving if r.state == "up"]
+        capacity_s = max(len(serving), 1) * interval
+        utilization = min(self._window_busy / capacity_s, 2.0)
+        rate = self._window_offered / interval
+        self._window_busy = 0.0
+        self._window_offered = 0
+        desired = self.autoscaler.desired_replicas(
+            self._now, len(up), utilization, rate
+        )
+        self._obs.series("cluster.replicas").append(self._now, len(up))
+        self._obs.gauge("cluster.window_utilization").set(utilization)
+        if desired == len(up):
+            return
+        self._scale_events.append((self._now, len(up), desired))
+        self._emit("scale", desired)
+        if self._tracer is not None:
+            self._tracer.counter(
+                "replicas", ts=self._now * 1e6,
+                values={"target": float(desired)},
+            )
+        if desired > len(up):
+            for _ in range(desired - len(up)):
+                if self._spawn_replica() is None:
+                    break
+        else:
+            # Drain the youngest replicas first (cold caches, cheapest loss).
+            for replica in sorted(up, key=lambda r: -r.replica_id)[
+                : len(up) - desired
+            ]:
+                replica.state = "draining"
+                self._emit("drain", replica.replica_id)
+                if replica.outstanding == 0:
+                    self._retire_replica(replica)
+        self._peak_replicas = max(
+            self._peak_replicas,
+            sum(1 for r in self._replicas.values() if r.serving),
+        )
+
+
+def run_cluster(
+    config: ClusterConfig,
+    service: ServiceModel,
+    requests: Sequence[Request],
+    locality: Optional[ShardLocalityMap] = None,
+    autoscaler: Optional[Autoscaler] = None,
+    pool: Optional[HostPool] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[TraceWriter] = None,
+) -> ClusterReport:
+    """One-call entry point: simulate a cluster run and return the report."""
+    return ClusterSimulator(
+        config, service, requests,
+        locality=locality, autoscaler=autoscaler, pool=pool,
+        registry=registry, tracer=tracer,
+    ).run()

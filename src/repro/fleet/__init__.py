@@ -6,7 +6,12 @@ from repro.fleet.abtest import (
     normalized_entropy,
     run_ab_test,
 )
-from repro.fleet.allocator import Allocation, AllocationError, NumaAllocator
+from repro.fleet.allocator import (
+    Allocation,
+    AllocationError,
+    FragmentationStats,
+    NumaAllocator,
+)
 from repro.fleet.colocation import (
     ColocationRequest,
     ColocationResult,
@@ -29,6 +34,7 @@ __all__ = [
     "AllocationError",
     "ColocationRequest",
     "ColocationResult",
+    "FragmentationStats",
     "PlacedModel",
     "colocate",
     "HOST_DRAM_AMPLIFICATION_NAIVE",

@@ -20,6 +20,31 @@ class AllocationError(RuntimeError):
 
 
 @dataclasses.dataclass(frozen=True)
+class FragmentationStats:
+    """How usable the free accelerators are for NUMA-constrained grants.
+
+    Because sharded grants must land on one socket, free capacity that is
+    spread thinly across sockets can be unusable for a large request even
+    when the total free count looks sufficient.  ``fragmentation`` is
+    ``1 - largest_socket_free / free_total`` (0 when one socket holds all
+    the free capacity, approaching 1 as it scatters);
+    ``unplaceable_free`` counts free accelerators stranded on sockets
+    whose free block is smaller than the probe ``request_size``.
+    """
+
+    free_total: int
+    largest_socket_free: int
+    fragmentation: float
+    request_size: int
+    unplaceable_free: int
+
+    @property
+    def placeable(self) -> bool:
+        """Whether a ``request_size`` grant can currently be placed."""
+        return self.largest_socket_free >= self.request_size
+
+
+@dataclasses.dataclass(frozen=True)
 class Allocation:
     """A model instance's accelerator grant."""
 
@@ -99,3 +124,28 @@ class NumaAllocator:
         """Fraction of the server's accelerators currently allocated."""
         total = self.server.accelerators_per_server
         return (total - self.free_accelerators()) / total
+
+    def free_by_socket(self) -> List[int]:
+        """Free accelerator count per socket."""
+        return [len(free) for free in self._free]
+
+    def fragmentation_stats(self, request_size: int = 1) -> FragmentationStats:
+        """Fragmentation accounting for the current free pool.
+
+        ``request_size`` probes placeability for a grant of that many
+        accelerators (which must co-locate on one socket).
+        """
+        if request_size <= 0:
+            raise ValueError("probe request size must be positive")
+        per_socket = self.free_by_socket()
+        free_total = sum(per_socket)
+        largest = max(per_socket, default=0)
+        fragmentation = 1.0 - largest / free_total if free_total else 0.0
+        unplaceable = sum(f for f in per_socket if f < request_size)
+        return FragmentationStats(
+            free_total=free_total,
+            largest_socket_free=largest,
+            fragmentation=fragmentation,
+            request_size=request_size,
+            unplaceable_free=unplaceable,
+        )

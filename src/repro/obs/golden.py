@@ -52,6 +52,17 @@ GOLDEN_SCALARS: Dict[str, Dict[str, Tuple[float, float]]] = {
         "initial_perf_per_tco": (0.5835563561129902, 0.02),
         "final_perf_per_tco": (1.448328115712702, 0.02),
     },
+    "cluster_capacity": {
+        # Issue PR 4 acceptance shapes: power-of-two-choices beats
+        # round-robin on P99 at >= 80% utilization, and locality-aware
+        # routing eliminates the cross-host embedding traffic JSQ pays.
+        "p99_round_robin_s": (0.1357294585487292, 0.05),
+        "p99_po2_s": (0.11015150533913243, 0.05),
+        "cross_host_fraction_jsq": (0.7463783329834138, 0.05),
+        "cross_host_fraction_locality": (0.0, 1e-9),
+        "replicas_po2_at_300qps": (9.0, 1e-9),
+        "replicas_round_robin_at_300qps": (9.0, 1e-9),
+    },
     "sec36_llm_feasibility": {
         # Paper section 3.6: Llama2-7B decode misses 60 ms/token.
         "llama2_7b_mtia_decode_s": (0.08234887529411765, 0.02),

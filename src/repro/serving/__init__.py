@@ -27,8 +27,10 @@ from repro.serving.simulator import (
     simulate_serving,
 )
 from repro.serving.workload import (
+    DiurnalTrafficModel,
     Request,
     diurnal_load_curve,
+    diurnal_poisson_stream,
     poisson_stream,
     replay_stream,
 )
@@ -45,9 +47,11 @@ __all__ = [
     "Request",
     "ScheduleResult",
     "ServingOutcome",
+    "DiurnalTrafficModel",
     "coalesce",
     "coalescing_stats",
     "diurnal_load_curve",
+    "diurnal_poisson_stream",
     "headroom_for_fault_tolerance",
     "inject_device_faults",
     "max_throughput_under_slo",

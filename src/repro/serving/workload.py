@@ -8,7 +8,9 @@ utilization studies use the diurnal one.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
+import math
 from typing import List, Sequence
 
 import numpy as np
@@ -78,6 +80,106 @@ def diurnal_load_curve(
     raw = raw / raw.mean()
     curve = mean_rate_per_s * raw * rng.lognormal(0, noise, size=num_points)
     return np.maximum(curve, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class DiurnalTrafficModel:
+    """The long-timescale traffic shape: a sinusoidal day.
+
+    ``rate_at`` is the *expected* arrival rate at wall time ``t`` — the
+    deterministic curve both the bursty stream generator below and the
+    cluster tier's predictive autoscaler share, so a forecast made from
+    the model is consistent with the traffic actually generated from it.
+    """
+
+    mean_rate_per_s: float
+    peak_to_mean: float = 2.2
+    day_length_s: float = 86_400.0
+    phase_s: float = 0.0  # where in the day t=0 lands (0 = trough side)
+    floor_fraction: float = 0.05  # overnight trough never quite hits zero
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_per_s <= 0 or self.day_length_s <= 0:
+            raise ValueError("mean rate and day length must be positive")
+        if self.peak_to_mean < 1:
+            raise ValueError("peak-to-mean must be at least 1")
+        if not (0 <= self.floor_fraction <= 1):
+            raise ValueError("floor fraction must be in [0, 1]")
+
+    def rate_at(self, t_s: float) -> float:
+        """Expected arrival rate (requests/s) at wall time ``t_s``."""
+        angle = 2.0 * math.pi * (t_s + self.phase_s) / self.day_length_s
+        amplitude = self.peak_to_mean - 1.0
+        raw = 1.0 + amplitude * math.sin(angle - math.pi / 2.0)
+        return self.mean_rate_per_s * max(raw, self.floor_fraction)
+
+    @property
+    def peak_rate_per_s(self) -> float:
+        """The daily-peak expected rate."""
+        return self.mean_rate_per_s * self.peak_to_mean
+
+
+def diurnal_poisson_stream(
+    model: DiurnalTrafficModel,
+    duration_s: float,
+    samples_per_request: int = 64,
+    samples_jitter: float = 0.3,
+    burst_rate_per_hour: float = 0.0,
+    burst_factor: float = 3.0,
+    burst_duration_s: float = 30.0,
+    seed: int = 0,
+) -> List[Request]:
+    """Seeded diurnal + bursty arrivals (sinusoid-modulated Poisson).
+
+    A non-homogeneous Poisson process whose intensity is the diurnal
+    curve, multiplied by ``burst_factor`` inside burst episodes — short
+    flash-crowd windows themselves arriving as a Poisson process at
+    ``burst_rate_per_hour``.  Sampling is Lewis-Shedler thinning against
+    the peak intensity, with all randomness drawn from one seeded
+    generator in a fixed order (episodes, then arrivals, then sizes), so
+    the stream is a pure function of the seed.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if burst_rate_per_hour < 0 or burst_duration_s < 0:
+        raise ValueError("burst rate and duration must be non-negative")
+    if burst_factor < 1:
+        raise ValueError("burst factor must be at least 1")
+    rng = np.random.default_rng(seed)
+    episodes: List[float] = []
+    if burst_rate_per_hour > 0:
+        episode_rate = burst_rate_per_hour / 3600.0
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / episode_rate)
+            if t >= duration_s:
+                break
+            episodes.append(t)
+
+    def in_burst(t: float) -> bool:
+        index = bisect.bisect_right(episodes, t) - 1
+        return index >= 0 and t < episodes[index] + burst_duration_s
+
+    lam_max = model.peak_rate_per_s * (burst_factor if episodes else 1.0)
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / lam_max)
+        if t >= duration_s:
+            break
+        rate = model.rate_at(t) * (burst_factor if in_burst(t) else 1.0)
+        if rng.random() * lam_max <= rate:
+            arrivals.append(t)
+    sizes = np.maximum(
+        1,
+        np.round(
+            samples_per_request * rng.lognormal(0, samples_jitter, size=len(arrivals))
+        ).astype(int),
+    )
+    return [
+        Request(arrival_s=float(t), samples=int(s), request_id=i)
+        for i, (t, s) in enumerate(zip(arrivals, sizes))
+    ]
 
 
 def replay_stream(

@@ -117,6 +117,52 @@ class TestNumaAllocator:
         grant = allocator.allocate("b", 2)
         assert grant.socket == 1
 
+    def test_alloc_release_round_trip_restores_state(self):
+        allocator = NumaAllocator(mtia2i_server())
+        before = allocator.free_by_socket()
+        grants = [allocator.allocate(f"m{i}", 3) for i in range(4)]
+        for grant in grants:
+            allocator.release(grant)
+        assert allocator.free_by_socket() == before
+        assert allocator.free_accelerators() == 24
+        # The round trip leaves the allocator fully usable again.
+        assert len(allocator.allocate("again", 12).accelerator_ids) == 12
+
+    def test_fragmentation_stats_empty_server(self):
+        stats = NumaAllocator(mtia2i_server()).fragmentation_stats()
+        assert stats.free_total == 24
+        assert stats.largest_socket_free == 12
+        assert stats.fragmentation == pytest.approx(0.5)
+        assert stats.placeable
+
+    def test_fragmentation_blocks_large_request(self):
+        """A server can have plenty free yet place no large sharded model
+        — the quantity the cluster pool's capacity accounting tracks."""
+        allocator = NumaAllocator(mtia2i_server())
+        allocator.allocate("a", 7)
+        allocator.allocate("b", 7)  # lands on socket 1
+        stats = allocator.fragmentation_stats(request_size=6)
+        assert stats.free_total == 10  # 5 free on each socket
+        assert stats.largest_socket_free == 5
+        assert not stats.placeable
+        assert stats.unplaceable_free == 10
+        with pytest.raises(AllocationError):
+            allocator.allocate("big", 6)
+
+    def test_fragmentation_clears_after_release(self):
+        allocator = NumaAllocator(mtia2i_server())
+        a = allocator.allocate("a", 7)
+        allocator.allocate("b", 7)
+        allocator.release(a)
+        stats = allocator.fragmentation_stats(request_size=6)
+        assert stats.largest_socket_free == 12
+        assert stats.placeable
+
+    def test_fragmentation_probe_validation(self):
+        allocator = NumaAllocator(mtia2i_server())
+        with pytest.raises(ValueError):
+            allocator.fragmentation_stats(request_size=0)
+
 
 class TestAbTest:
     def test_normalized_entropy_perfect_predictions(self):
