@@ -1,0 +1,107 @@
+"""Sections 5.2-5.3, time domain: DVFS with thermal feedback, per-chip
+power capping, budget re-derivation, and power-limited capacity.
+
+Paper: the overclocking study shipped the fleet at 1.35 GHz for 5-20%
+end-to-end gains; the rack budget was re-derived from two production P90
+measurements for a ~40% reduction, with fine-grained allocation across
+24 small chips smoothing load spikes.  Here the same claims are replayed
+with the loop closed — governed frequencies, RC-network junction
+temperatures, leakage feedback, and the cluster tier coupled to the
+power budget.
+"""
+
+from conftest import once
+
+from repro.cluster import default_service_model
+from repro.models import figure6_models
+from repro.power import (
+    calibrate_throughput,
+    capping_study,
+    overclock_with_thermal_feedback,
+    power_limited_capacity_sweep,
+    time_domain_provisioning,
+)
+
+
+def _measure():
+    # Throughput-vs-frequency calibrated by the executor on a ranking
+    # model (memory traffic does not scale with clock).
+    curve = calibrate_throughput(figure6_models()[0])
+    dvfs = overclock_with_thermal_feedback(
+        curve, num_chips=24, duration_s=600.0, seed=0
+    )
+    capping = capping_study(duration_s=300.0, seed=0)
+    provisioning = time_domain_provisioning(
+        num_servers=20, duration_s=300.0, seed=0
+    )
+    sweep = power_limited_capacity_sweep(
+        default_service_model(),
+        server_budgets_w=(1400.0, 2000.0, 2300.0, 2600.0),
+        replicas=12,
+        duration_s=10.0,
+        seed=0,
+    )
+    return curve, dvfs, capping, provisioning, sweep
+
+
+def test_sec52_sec53_power(benchmark, record, record_json):
+    curve, dvfs, capping, provisioning, sweep = once(benchmark, _measure)
+
+    lines = ["governed DVFS (24 chips, RC thermal feedback, shared airflow):"]
+    lines.append(
+        f"  fleet gain over 1.10 GHz design point: mean {dvfs.mean_gain:+.1%} "
+        f"(min {dvfs.min_gain:+.1%}, max {dvfs.max_gain:+.1%})"
+    )
+    lines.append(
+        f"  mean governed frequency {dvfs.mean_frequency_hz / 1e9:.3f} GHz, "
+        f"peak junction {dvfs.peak_junction_c:.1f} C, "
+        f"{dvfs.thermal_throttles} thermal throttle events"
+    )
+    lines.append("  (paper: 5-20% end-to-end gain at 1.35 GHz)")
+
+    lines.append("\nserver power capping at equal budget "
+                 f"({capping.budget_w:.0f} W accelerator budget):")
+    for outcome in (capping.per_chip, capping.server_level):
+        lines.append(
+            f"  {outcome.policy:12} p99 deficit {outcome.p99_deficit:6.2%}  "
+            f"delivered {outcome.delivered_fraction:.2%}  "
+            f"cap violations {outcome.cap_violation_fraction:.1%}"
+        )
+    lines.append("  (paper: fine-grained allocation smooths load spikes)")
+
+    lines.append("\nrack budget re-derivation (time-domain telemetry):")
+    lines.append(
+        f"  initial (stress) {provisioning.initial_budget_w:7.0f} W -> "
+        f"revised {provisioning.revised_budget_w:7.0f} W "
+        f"({provisioning.reduction_fraction:.0%} reduction; paper: ~40%)"
+    )
+
+    lines.append("\npower-limited capacity at the P99 SLO:")
+    for line in sweep.table().splitlines():
+        lines.append(f"  {line}")
+    lines.append(f"  knee: {sweep.knee_budget_w:.0f} W "
+                 "(watts past the full ladder buy nothing)")
+
+    # Acceptance bands from the paper.
+    assert 0.05 <= dvfs.mean_gain <= 0.20
+    assert dvfs.thermal_throttles > 0
+    assert capping.per_chip.p99_deficit < capping.server_level.p99_deficit
+    assert capping.per_chip.cap_violation_fraction == 0.0
+    assert 0.30 <= provisioning.reduction_fraction <= 0.50
+    qps = [p.max_qps for p in sweep.points]
+    assert all(a <= b + 1e-9 for a, b in zip(qps, qps[1:]))
+    assert sweep.points[-1].max_qps > sweep.points[0].max_qps
+    top = curve.frequencies_hz[-1]
+    assert curve.relative(top) <= top / curve.frequencies_hz[0] + 1e-9
+
+    record("sec52_sec53_power", "\n".join(lines))
+    record_json("sec52_sec53_power", {
+        "dvfs_mean_gain": dvfs.mean_gain,
+        "dvfs_mean_frequency_ghz": dvfs.mean_frequency_hz / 1e9,
+        "dvfs_peak_junction_c": dvfs.peak_junction_c,
+        "per_chip_p99_deficit": capping.per_chip.p99_deficit,
+        "server_level_p99_deficit": capping.server_level.p99_deficit,
+        "provisioning_reduction_fraction": provisioning.reduction_fraction,
+        "sweep_knee_budget_w": sweep.knee_budget_w,
+        "sweep_max_qps": sweep.points[-1].max_qps,
+    })

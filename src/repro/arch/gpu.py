@@ -96,6 +96,10 @@ def gpu_spec() -> ChipSpec:
         tdp_watts=700.0,
         typical_watts=480.0,
         idle_power_fraction=0.3,
+        # HBM-class package with liquid-adjacent cooling runs hotter at
+        # reference; leakage slope per published Hopper characterization.
+        leakage_ref_temp_c=70.0,
+        leakage_temp_coeff_per_c=0.012,
         die_area_mm2=814.0,
         sustained_gemm_fraction=0.65,
         overlap_factor=0.55,

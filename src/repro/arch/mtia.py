@@ -107,6 +107,10 @@ def mtia2i_spec(
         tdp_watts=85.0,
         typical_watts=65.0,
         idle_power_fraction=0.35,
+        # 5 nm leakage roughly doubles every 50 °C; Table 2's power
+        # figures are taken at a 60 °C junction.
+        leakage_ref_temp_c=60.0,
+        leakage_temp_coeff_per_c=0.014,
         die_area_mm2=25.6 * 16.4,
         overlap_factor=0.93,
         dram_has_native_ecc=False,
@@ -178,6 +182,8 @@ def mtia1_spec(dram_capacity_bytes: int = 64 * GiB) -> ChipSpec:
         tdp_watts=35.0,
         typical_watts=25.0,
         idle_power_fraction=0.35,
+        leakage_ref_temp_c=60.0,
+        leakage_temp_coeff_per_c=0.013,  # 7 nm leaks a little less steeply
         die_area_mm2=19.3 * 19.1,
         overlap_factor=0.88,
         dram_has_native_ecc=False,

@@ -11,7 +11,8 @@ sourced from Table 2 of the paper or public datasheets.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+import math
+from typing import Dict, Optional
 
 from repro.tensors.dtypes import DType
 
@@ -142,6 +143,14 @@ class ChipSpec:
     typical_watts: float
     # Fraction of TDP drawn when idle.
     idle_power_fraction: float = 0.3
+    # Junction temperature at which the idle/leakage calibration above
+    # holds (the conditions behind Table 2's power figures), and the
+    # exponential slope of leakage with junction temperature.  The
+    # default slope of zero keeps leakage temperature-independent, which
+    # preserves every energy number computed before repro.power existed;
+    # the concrete MTIA/GPU specs override it.
+    leakage_ref_temp_c: float = 60.0
+    leakage_temp_coeff_per_c: float = 0.0
     # SRAM partition granularity for the LLC/LLS split (section 4.1).
     sram_partition_bytes: int = 32 * 1024 * 1024
     die_area_mm2: float = 0.0
@@ -176,6 +185,24 @@ class ChipSpec:
     def overclock_ratio(self) -> float:
         """Operating frequency relative to the design frequency."""
         return self.frequency_hz / self.design_frequency_hz
+
+    def leakage_power_w(self, temperature_c: Optional[float] = None) -> float:
+        """Static (leakage + always-on) power at a junction temperature.
+
+        At the reference temperature — or when no temperature is given —
+        this is exactly the historical ``typical_watts *
+        idle_power_fraction`` idle draw, so energy models that do not
+        track temperature are unchanged.  Away from it, leakage follows
+        the usual exponential: a coefficient of 0.014/°C doubles leakage
+        every ~50 °C.
+        """
+        idle = self.typical_watts * self.idle_power_fraction
+        if temperature_c is None or self.leakage_temp_coeff_per_c == 0.0:
+            return idle
+        return idle * math.exp(
+            self.leakage_temp_coeff_per_c
+            * (temperature_c - self.leakage_ref_temp_c)
+        )
 
     def peak_gemm_flops(self, dtype: DType, sparse: bool = False) -> float:
         """Chip-wide peak GEMM FLOP/s."""

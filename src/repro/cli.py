@@ -12,6 +12,9 @@ Commands:
   policy comparison, shard-locality probe, capacity sweep, and the
   autoscaled diurnal day
 * ``sdc``        — run the silent-data-corruption injection campaign
+* ``power``      — run the time-domain power studies: governed DVFS with
+  thermal feedback, per-chip vs server-level capping, the section 5.3
+  budget re-derivation, and the power-limited capacity sweep
 * ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
   and fail on regressions against the previous snapshot or the pinned
   golden values
@@ -38,13 +41,15 @@ _LLMS = {
     "llama3-70b": "llama3_70b",
 }
 
-# The CI subset: fast enough for every push, still covering the three
-# headline claims (kernel efficiency, serving consolidation, SDC ladder).
+# The CI subset: fast enough for every push, still covering the headline
+# claims (kernel efficiency, serving consolidation, SDC ladder, cluster
+# capacity, time-domain power).
 _SMOKE_BENCHMARKS = (
     "test_sec33_gemm_efficiency.py",
     "test_fig5_tbe_consolidation.py",
     "test_sec5_sdc_campaign.py",
     "test_cluster_capacity.py",
+    "test_sec52_sec53_power.py",
 )
 
 
@@ -268,6 +273,86 @@ def cmd_sdc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_power(args: argparse.Namespace) -> int:
+    from repro.cluster import default_service_model
+    from repro.power import (
+        calibrate_throughput,
+        capping_study,
+        mtia2i_thermal,
+        overclock_with_thermal_feedback,
+        power_limited_capacity_sweep,
+        time_domain_provisioning,
+    )
+    from repro.reliability import DESIGN_FREQUENCY_HZ
+
+    if args.smoke:
+        num_chips, dvfs_duration = 12, 300.0
+        cap_duration, prov_servers, prov_duration = 200.0, 12, 200.0
+        budgets, sweep_replicas, sweep_duration = (1200.0, 2000.0, 2600.0), 8, 6.0
+    else:
+        num_chips, dvfs_duration = 24, args.duration
+        cap_duration, prov_servers, prov_duration = args.duration, 40, args.duration
+        budgets = (1200.0, 1400.0, 1700.0, 2000.0, 2300.0, 2600.0)
+        sweep_replicas, sweep_duration = 24, 20.0
+
+    network = mtia2i_thermal()
+    print(f"thermal stack: {network.total_resistance_c_per_w:.2f} C/W "
+          f"junction-to-ambient, ambient {network.ambient_c:.0f} C")
+
+    print(f"\n1) governed DVFS ({num_chips} chips, {dvfs_duration:.0f} s, "
+          f"seed {args.seed})")
+    model = _zoo_model(args.model)
+    curve = calibrate_throughput(model)
+    top = curve.frequencies_hz[-1]
+    print(f"   {model.name} throughput curve: {top / 1e9:.2f} GHz -> "
+          f"{curve.relative(top):.3f}x of design "
+          f"(clock ratio {top / DESIGN_FREQUENCY_HZ:.3f}x)")
+    dvfs = overclock_with_thermal_feedback(
+        curve, num_chips=num_chips, duration_s=dvfs_duration, seed=args.seed
+    )
+    print(f"   fleet gain over the 1.10 GHz design point: "
+          f"mean {dvfs.mean_gain:+.1%} (min {dvfs.min_gain:+.1%}, "
+          f"max {dvfs.max_gain:+.1%}); paper band 5-20%")
+    print(f"   mean frequency {dvfs.mean_frequency_hz / 1e9:.3f} GHz, "
+          f"peak junction {dvfs.peak_junction_c:.1f} C, "
+          f"{dvfs.thermal_throttles} thermal / {dvfs.cap_throttles} cap "
+          f"throttle events")
+
+    print(f"\n2) power capping at equal budget ({cap_duration:.0f} s)")
+    capping = capping_study(duration_s=cap_duration, seed=args.seed)
+    print(f"   accelerator budget {capping.budget_w:.0f} W")
+    for outcome in (capping.per_chip, capping.server_level):
+        print(f"   {outcome.policy:12} p99 deficit {outcome.p99_deficit:6.2%}  "
+              f"delivered {outcome.delivered_fraction:.2%}  "
+              f"cap violations {outcome.cap_violation_fraction:.1%}")
+
+    print(f"\n3) budget re-derivation ({prov_servers} servers, "
+          f"{prov_duration:.0f} s of telemetry)")
+    provisioning = time_domain_provisioning(
+        num_servers=prov_servers, duration_s=prov_duration, seed=args.seed
+    )
+    print(f"   stress-test budget {provisioning.initial_budget_w:7.0f} W/server")
+    print(f"   experiment P90     {provisioning.experiment_budget_w:7.0f} W")
+    print(f"   fleet P90-of-P90   {provisioning.fleet_budget_w:7.0f} W")
+    print(f"   revised budget     {provisioning.revised_budget_w:7.0f} W "
+          f"({provisioning.reduction_fraction:.0%} reduction; paper ~40%)")
+
+    print(f"\n4) power-limited capacity ({sweep_replicas} replicas, "
+          f"P99 SLO, {sweep_duration:.0f} s per point)")
+    sweep = power_limited_capacity_sweep(
+        default_service_model(),
+        server_budgets_w=budgets,
+        replicas=sweep_replicas,
+        duration_s=sweep_duration,
+        seed=args.seed,
+    )
+    for line in sweep.table().splitlines():
+        print(f"   {line}")
+    print(f"   knee at {sweep.knee_budget_w:.0f} W: watts past the full "
+          "ladder buy no QPS")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import pathlib
@@ -429,6 +514,18 @@ def build_parser() -> argparse.ArgumentParser:
     sdc.add_argument("--smoke", action="store_true",
                      help="small fixed-size campaign (60 trials) for CI")
     sdc.set_defaults(func=cmd_sdc)
+
+    power = sub.add_parser(
+        "power", help="run the time-domain power / thermal / DVFS studies"
+    )
+    power.add_argument("--model", default="LC1",
+                       help="zoo model for the throughput-vs-frequency curve")
+    power.add_argument("--duration", type=float, default=600.0,
+                       help="simulated seconds per study")
+    power.add_argument("--seed", type=int, default=0)
+    power.add_argument("--smoke", action="store_true",
+                       help="small fixed-size studies for CI")
+    power.set_defaults(func=cmd_power)
 
     bench = sub.add_parser(
         "bench",

@@ -226,10 +226,17 @@ class ClusterSimulator:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[TraceWriter] = None,
         model_name: str = "model",
+        throttle=None,
     ) -> None:
         self.config = config
         self.service = service
         self.requests = list(requests)
+        # Optional power/thermal coupling: anything with a
+        # ``multiplier(time_s)`` method (e.g. repro.power.cluster_link
+        # .ThrottleSchedule) stretching service times while the tier is
+        # frequency-throttled.  Applied after the rng draw, so None
+        # preserves byte-identical event logs.
+        self.throttle = throttle
         self.locality = locality or ShardLocalityMap.uniform(1)
         self.autoscaler = autoscaler
         self.pool = pool or HostPool(config.num_hosts)
@@ -447,6 +454,8 @@ class ClusterSimulator:
 
     def _start_service(self, replica: _Replica, index: int, cross: bool) -> None:
         service_s = self.service.sample(self._rng, cross_host=cross)
+        if self.throttle is not None:
+            service_s *= self.throttle.multiplier(self._now)
         replica.in_service = index
         replica.in_service_cross = cross
         replica.service_token += 1
@@ -586,10 +595,11 @@ def run_cluster(
     pool: Optional[HostPool] = None,
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[TraceWriter] = None,
+    throttle=None,
 ) -> ClusterReport:
     """One-call entry point: simulate a cluster run and return the report."""
     return ClusterSimulator(
         config, service, requests,
         locality=locality, autoscaler=autoscaler, pool=pool,
-        registry=registry, tracer=tracer,
+        registry=registry, tracer=tracer, throttle=throttle,
     ).run()

@@ -137,6 +137,7 @@ class Executor:
         zipf_exponent: float = 1.05,
         seed: int = 0,
         host_input_fraction: float = 1.0,
+        temperature_c: Optional[float] = None,
     ) -> None:
         self.chip = chip
         self.gemm_variant = gemm_variant
@@ -144,6 +145,10 @@ class Executor:
         self.zipf_exponent = zipf_exponent
         self.seed = seed
         self.host_input_fraction = host_input_fraction
+        # Junction temperature for the leakage term of the energy model.
+        # None evaluates leakage at the chip's reference temperature —
+        # exactly the historical constant-idle behaviour.
+        self.temperature_c = temperature_c
 
     # -- placement ---------------------------------------------------------
 
@@ -430,11 +435,11 @@ class Executor:
 
     def _op_energy(self, profile: OpProfile) -> float:
         chip = self.chip
-        idle = chip.typical_watts * chip.idle_power_fraction
-        dynamic = chip.typical_watts - idle
+        leakage = chip.leakage_power_w(self.temperature_c)
+        dynamic = chip.typical_watts * (1.0 - chip.idle_power_fraction)
         busy = profile.compute_s / profile.time_s if profile.time_s else 0.0
         busy = min(1.0, busy)
-        return profile.time_s * (idle + dynamic * busy)
+        return profile.time_s * (leakage + dynamic * busy)
 
 
 def _round_up_to(value: int, granule: int) -> int:

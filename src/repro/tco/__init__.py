@@ -7,6 +7,7 @@ from repro.tco.model import (
     PlatformComparison,
     TcoBreakdown,
     compare_platforms,
+    measured_server_power_watts,
     perf_per_tco,
     perf_per_watt,
     server_tco,
@@ -19,6 +20,7 @@ __all__ = [
     "PlatformComparison",
     "TcoBreakdown",
     "compare_platforms",
+    "measured_server_power_watts",
     "perf_per_tco",
     "perf_per_watt",
     "server_tco",

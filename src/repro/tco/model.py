@@ -61,15 +61,42 @@ class TcoBreakdown:
         return self.capex_per_year + self.energy_per_year + self.provisioning_per_year
 
 
-def server_tco(server: ServerSpec, costs: CostInputs, avg_power_watts: float = None) -> TcoBreakdown:
+def measured_server_power_watts(server: ServerSpec, report) -> float:
+    """Average server draw from a measured execution.
+
+    ``report`` is anything exposing ``avg_power_w`` per accelerator —
+    in practice an :class:`~repro.perf.executor.ExecutionReport`.  The
+    platform share matches the convention of
+    :func:`~repro.arch.server.ServerSpec.typical_power_watts`.
+    """
+    return (
+        server.platform_power_watts * 0.8
+        + server.accelerators_per_server * report.avg_power_w
+    )
+
+
+def server_tco(
+    server: ServerSpec,
+    costs: CostInputs,
+    avg_power_watts: float = None,
+    report=None,
+) -> TcoBreakdown:
     """Annualized TCO for one server at a given average draw.
 
-    ``avg_power_watts`` defaults to the server's typical power; the
-    provisioning term uses nameplate (rack budgets are provisioned for
-    peak — the subject of section 5.3).
+    The energy term uses, in order of preference: an explicit
+    ``avg_power_watts``, the measured draw of an execution ``report``
+    (via :func:`measured_server_power_watts`), or the server's nameplate
+    typical power.  Passing the report matters: a memory-bound model
+    leaves the compute array idle and draws well under typical, which
+    the nameplate default silently overstates.  The provisioning term
+    always uses nameplate (rack budgets are provisioned for peak — the
+    subject of section 5.3).
     """
     if avg_power_watts is None:
-        avg_power_watts = server.typical_power_watts
+        if report is not None:
+            avg_power_watts = measured_server_power_watts(server, report)
+        else:
+            avg_power_watts = server.typical_power_watts
     capex = (
         costs.platform_cost_usd
         + server.accelerators_per_server * costs.accelerator_cost_usd
@@ -86,15 +113,30 @@ def server_tco(server: ServerSpec, costs: CostInputs, avg_power_watts: float = N
 
 def perf_per_tco(
     server_throughput: float, server: ServerSpec, costs: CostInputs,
-    avg_power_watts: float = None,
+    avg_power_watts: float = None, report=None,
 ) -> float:
     """Samples/s per annual TCO dollar."""
-    breakdown = server_tco(server, costs, avg_power_watts)
+    breakdown = server_tco(server, costs, avg_power_watts, report=report)
     return server_throughput / breakdown.total_per_year
 
 
-def perf_per_watt(server_throughput: float, avg_power_watts: float) -> float:
-    """Samples/s per watt of average server draw."""
+def perf_per_watt(
+    server_throughput: float,
+    avg_power_watts: float = None,
+    server: ServerSpec = None,
+    report=None,
+) -> float:
+    """Samples/s per watt of average server draw.
+
+    Either pass ``avg_power_watts`` directly, or pass ``server`` and a
+    measured execution ``report`` to use the measured draw.
+    """
+    if avg_power_watts is None:
+        if server is None or report is None:
+            raise ValueError(
+                "pass avg_power_watts, or both server and report"
+            )
+        avg_power_watts = measured_server_power_watts(server, report)
     if avg_power_watts <= 0:
         raise ValueError("power must be positive")
     return server_throughput / avg_power_watts

@@ -8,6 +8,7 @@ from repro.tco import (
     MTIA2I_COST,
     CostInputs,
     compare_platforms,
+    measured_server_power_watts,
     perf_per_tco,
     perf_per_watt,
     server_tco,
@@ -49,6 +50,62 @@ class TestServerTco:
             CostInputs(accelerator_cost_usd=1, platform_cost_usd=1, depreciation_years=0)
         with pytest.raises(ValueError):
             CostInputs(accelerator_cost_usd=1, platform_cost_usd=1, pue=0.9)
+
+
+class TestMeasuredPower:
+    """Threading measured execution power through the TCO model."""
+
+    def _report(self):
+        from repro.arch.mtia import mtia2i_spec
+        from repro.models.zoo import hc1
+        from repro.perf.executor import Executor
+
+        model = hc1()
+        return Executor(mtia2i_spec()).run(
+            model.graph(), model.batch, warmup_runs=1
+        )
+
+    def test_measured_server_power_between_idle_and_nameplate(self):
+        server = mtia2i_server()
+        report = self._report()
+        measured = measured_server_power_watts(server, report)
+        assert measured < server.typical_power_watts
+        assert measured > server.platform_power_watts * 0.8
+
+    def test_report_lowers_energy_term_for_memory_bound_model(self):
+        """A ranking model leaves the compute array partly idle, so its
+        measured draw sits below nameplate typical — and the nameplate
+        default silently overstates the energy bill."""
+        server = mtia2i_server()
+        report = self._report()
+        nameplate = server_tco(server, MTIA2I_COST)
+        measured = server_tco(server, MTIA2I_COST, report=report)
+        assert measured.energy_per_year < nameplate.energy_per_year
+        # Provisioning stays nameplate-based: racks are built for peak.
+        assert measured.provisioning_per_year == nameplate.provisioning_per_year
+
+    def test_measured_perf_per_watt_beats_nameplate(self):
+        server = mtia2i_server()
+        report = self._report()
+        throughput = report.throughput_samples_per_s * server.accelerators_per_server
+        measured = perf_per_watt(throughput, server=server, report=report)
+        nameplate = perf_per_watt(throughput, server.typical_power_watts)
+        assert measured > nameplate
+
+    def test_perf_per_watt_requires_a_power_source(self):
+        with pytest.raises(ValueError):
+            perf_per_watt(1000.0)
+        with pytest.raises(ValueError):
+            perf_per_watt(1000.0, server=mtia2i_server())
+
+    def test_explicit_power_wins_over_report(self):
+        server = mtia2i_server()
+        report = self._report()
+        explicit = server_tco(
+            server, MTIA2I_COST, avg_power_watts=1234.0, report=report
+        )
+        direct = server_tco(server, MTIA2I_COST, avg_power_watts=1234.0)
+        assert explicit.energy_per_year == direct.energy_per_year
 
 
 class TestComparison:
