@@ -1,0 +1,57 @@
+"""Chaos campaign: survive the section 5 incidents, or don't.
+
+A downstream-user scenario for the chaos tier: build the fault-domain
+topology, look at what one correlated scenario actually injects, then
+run the full catalog defenses-off versus defenses-on and read the
+headline — the metastable retry storm that never recovers undefended
+and recovers in seconds with deadlines, retry budgets, backoff, and
+circuit breakers armed.  Ends by pricing the brownout ladder's quality
+cost through the A/B harness.
+
+Run:  python examples/chaos_campaign.py
+"""
+
+from repro.chaos import (
+    CampaignConfig,
+    measure_ladder_quality,
+    run_campaign,
+    scenario_by_name,
+)
+
+
+def main() -> None:
+    config = CampaignConfig()
+    topology = config.topology()
+    print(f"fleet: {topology.replicas} replicas on {topology.num_hosts} hosts, "
+          f"{topology.num_racks} racks, "
+          f"{topology.num_power_domains} power domains")
+
+    # What does one correlated incident actually inject?
+    storm = scenario_by_name("retry_storm")
+    print(f"\nscenario '{storm.name}': {storm.description}")
+    print(f"  paper: {storm.paper_ref}")
+    for injection in storm.injections(topology):
+        print(f"  t={injection.time_s:5.1f}s {injection.kind:9} "
+              f"replicas {list(injection.targets)}")
+
+    print("\nrunning the catalog, defenses off then on...")
+    result = run_campaign(config)
+    print(result.summary())
+
+    storm_off, storm_on = result.headline
+    print(f"\nthe metastable mechanism: undefended, clients re-send every "
+          f"250 ms, so the fault minted {storm_off.report.client_retries:,} "
+          f"retries and {storm_off.report.duplicate_service:,} duplicate "
+          f"serves — the tier stays saturated after the outage clears.")
+    print(f"defended, the retry budget and backoff held retries to "
+          f"{storm_on.report.client_retries:,} and the tier recovered in "
+          f"{storm_on.time_to_recovery_s:.1f}s.")
+
+    # What did the brownout ladder's availability cost in quality?
+    print("\nbrownout ladder NE damage (A/B-measured, positive = worse):")
+    for name, delta in measure_ladder_quality(num_requests=20_000).items():
+        print(f"  {name:5} dNE {delta:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Cross-tier fault injection and graceful degradation (section 5).
+
+The chaos tier turns the paper's productionization incidents into
+reproducible experiments against the cluster simulator: correlated
+fault domains (racks, power domains, ToR switches) sourced from the
+power/thermal/firmware models, the standard overload defenses against
+metastable retry storms, a measured brownout ladder for degrading
+quality before availability, and a scored scenario campaign with a
+``python -m repro chaos`` entry point.
+
+Everything plugs into :mod:`repro.cluster` through hooks that are off
+by default — with the chaos tier unused, the cluster simulator's event
+logs are byte-identical to the pre-chaos tree.
+"""
+
+from repro.chaos.brownout import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutRung,
+    default_ladder,
+    measure_ladder_quality,
+    quality_cost_of_run,
+    rung_backends,
+)
+from repro.chaos.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    GoodputWindow,
+    ScenarioOutcome,
+    run_campaign,
+    run_scenario,
+    smoke_config,
+)
+from repro.chaos.defense import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    DefenseConfig,
+    DefenseRuntime,
+    TokenBucket,
+)
+from repro.chaos.domains import (
+    FaultDomainTopology,
+    firmware_rollout,
+    host_failure,
+    merge_schedules,
+    network_partition,
+    power_domain_trip,
+    rack_failure,
+    thermal_emergency,
+    thermal_slow_factor,
+)
+from repro.chaos.scenarios import (
+    STORM_CLIENT,
+    ChaosScenario,
+    scenario_by_name,
+    standard_catalog,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerConfig",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutRung",
+    "CampaignConfig",
+    "CampaignResult",
+    "ChaosScenario",
+    "CircuitBreaker",
+    "DefenseConfig",
+    "DefenseRuntime",
+    "FaultDomainTopology",
+    "GoodputWindow",
+    "STORM_CLIENT",
+    "ScenarioOutcome",
+    "TokenBucket",
+    "default_ladder",
+    "firmware_rollout",
+    "host_failure",
+    "measure_ladder_quality",
+    "merge_schedules",
+    "network_partition",
+    "power_domain_trip",
+    "quality_cost_of_run",
+    "rack_failure",
+    "run_campaign",
+    "run_scenario",
+    "rung_backends",
+    "scenario_by_name",
+    "smoke_config",
+    "standard_catalog",
+    "thermal_emergency",
+    "thermal_slow_factor",
+]

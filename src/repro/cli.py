@@ -12,6 +12,10 @@ Commands:
   policy comparison, shard-locality probe, capacity sweep, and the
   autoscaled diurnal day
 * ``sdc``        — run the silent-data-corruption injection campaign
+* ``chaos``      — run the correlated-fault chaos campaign: the section 5
+  incident catalog (host/rack/power/partition/thermal/firmware plus the
+  metastable retry storm), defenses off versus on, scored on goodput,
+  time-to-recovery, SLO breach, and unavailability
 * ``power``      — run the time-domain power studies: governed DVFS with
   thermal feedback, per-chip vs server-level capping, the section 5.3
   budget re-derivation, and the power-limited capacity sweep
@@ -50,6 +54,7 @@ _SMOKE_BENCHMARKS = (
     "test_sec5_sdc_campaign.py",
     "test_cluster_capacity.py",
     "test_sec52_sec53_power.py",
+    "test_sec5_chaos.py",
 )
 
 
@@ -270,6 +275,41 @@ def cmd_sdc(args: argparse.Namespace) -> int:
     print(f"  resilience-simulator linkage (full profile): "
           f"sdc rate {rates.sdc_per_device_hour:.2e}/device-hour, "
           f"blast window {rates.sdc_blast_window_s:.1f} s")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        CampaignConfig,
+        run_campaign,
+        scenario_by_name,
+        smoke_config,
+        standard_catalog,
+    )
+    from repro.obs.tracing import TraceWriter
+
+    import dataclasses
+
+    if args.smoke:
+        config = dataclasses.replace(smoke_config(), seed=args.seed)
+    else:
+        config = CampaignConfig(seed=args.seed)
+    if args.scenario == "all":
+        scenarios = standard_catalog()
+    else:
+        scenarios = (scenario_by_name(args.scenario),)
+    tracer = TraceWriter("repro.chaos") if args.trace else None
+    result = run_campaign(
+        config, scenarios=scenarios, tracer=tracer,
+        price_quality=args.price_quality,
+    )
+    print(result.summary())
+    if args.trace:
+        tracer.write(args.trace)
+        print(f"\nwrote {args.trace} (open in Perfetto or chrome://tracing)")
+    if args.scenario in ("all", "retry_storm"):
+        storm_off, storm_on = result.headline
+        return 0 if (not storm_off.recovered and storm_on.recovered) else 1
     return 0
 
 
@@ -514,6 +554,20 @@ def build_parser() -> argparse.ArgumentParser:
     sdc.add_argument("--smoke", action="store_true",
                      help="small fixed-size campaign (60 trials) for CI")
     sdc.set_defaults(func=cmd_sdc)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the correlated-fault chaos campaign"
+    )
+    chaos.add_argument("--scenario", default="all",
+                       help="one scenario name, or 'all' for the catalog")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="small fixed-size campaign for CI")
+    chaos.add_argument("--price-quality", action="store_true",
+                       help="measure brownout NE damage through the A/B harness")
+    chaos.add_argument("--trace", default=None, metavar="PATH",
+                       help="write defended runs as a Chrome trace")
+    chaos.set_defaults(func=cmd_chaos)
 
     power = sub.add_parser(
         "power", help="run the time-domain power / thermal / DVFS studies"

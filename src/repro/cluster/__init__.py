@@ -30,13 +30,17 @@ from repro.cluster.routing import (
     PowerOfTwoPolicy,
     RoundRobinPolicy,
     RoutingPolicy,
+    healthy_candidates,
     make_policy,
 )
 from repro.cluster.service import ServiceModel, default_service_model
 from repro.cluster.simulator import (
+    INJECTION_KINDS,
+    ClientRetryConfig,
     ClusterConfig,
     ClusterReport,
     ClusterSimulator,
+    Injection,
     fault_rate_from_reliability,
     run_cluster,
 )
@@ -47,10 +51,13 @@ __all__ = [
     "AutoscalerConfig",
     "CapacityPoint",
     "CapacitySweep",
+    "ClientRetryConfig",
     "ClusterConfig",
     "ClusterReport",
     "ClusterSimulator",
     "HostPool",
+    "INJECTION_KINDS",
+    "Injection",
     "LeastOutstandingPolicy",
     "LocalityAwarePolicy",
     "POLICY_NAMES",
@@ -64,6 +71,7 @@ __all__ = [
     "capacity_sweep",
     "default_service_model",
     "fault_rate_from_reliability",
+    "healthy_candidates",
     "locality_comparison",
     "make_policy",
     "policy_comparison",

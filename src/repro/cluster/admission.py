@@ -37,3 +37,15 @@ class AdmissionConfig:
         if self.max_total_outstanding is None:
             return True
         return total_outstanding < self.max_total_outstanding
+
+    @staticmethod
+    def priority_admissible(priority: int, floor: int) -> bool:
+        """Priority-tiered admission for brownout serving.
+
+        Under overload the chaos tier's brownout controller raises the
+        admission ``floor``; only requests at or above it are admitted
+        (higher number = more important).  At the default floor of 0
+        every request passes, so the gate is invisible until a brownout
+        ladder is armed.
+        """
+        return priority >= floor

@@ -20,6 +20,32 @@ An event-driven composition of everything below it in the stack:
   models (:func:`repro.resilience.faults.fault_rates_from_reliability`),
   with reboot times from the resilience drain policy.
 
+The chaos tier (:mod:`repro.chaos`) plugs in through four optional
+hooks, every one of which defaults to off and leaves the event log
+byte-identical when unused:
+
+* ``injections`` — externally scheduled correlated faults
+  (:class:`Injection`): forced replica outages, network partitions,
+  service-time inflation (thermal throttling);
+* ``client`` — client-side retry behaviour
+  (:class:`ClientRetryConfig`): a request that has not completed within
+  the client timeout is re-sent, duplicating work — the raw material of
+  a retry storm;
+* ``defense`` — the overload defenses of
+  :mod:`repro.chaos.defense` (deadline propagation, retry token bucket,
+  backoff with jitter, per-replica circuit breakers);
+* ``brownout`` — the graceful-degradation ladder of
+  :mod:`repro.chaos.brownout` (priority-tiered admission and
+  cheaper-variant serving under overload).
+
+A request now reaches exactly one of *three* terminal outcomes — served,
+shed, or timed out — and the report enforces
+``served + shed + timed_out == offered``.  The timeout bucket closes the
+old unbounded-retry hole: a request stranded by a fault is re-routed
+only while it is inside its deadline (``retry_deadline_slos`` times the
+P99 SLO); past that it is counted ``timed_out`` instead of bouncing
+through the front door forever.
+
 The engine is the same discipline as :mod:`repro.resilience.simulator`:
 one event heap keyed ``(time, sequence)``, every random draw from one
 seeded generator in a fixed order, so a seed fully determines the run —
@@ -42,7 +68,7 @@ from repro.cluster.admission import AdmissionConfig
 from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.locality import ShardLocalityMap
 from repro.cluster.provisioning import HostPool, ReplicaGrant
-from repro.cluster.routing import RoutingPolicy, make_policy
+from repro.cluster.routing import RoutingPolicy, healthy_candidates, make_policy
 from repro.cluster.service import ServiceModel
 from repro.fleet.allocator import AllocationError
 from repro.obs.metrics import MetricsRegistry, active
@@ -50,6 +76,8 @@ from repro.obs.tracing import TraceWriter
 from repro.resilience.policies import DrainPolicy
 from repro.serving.simulator import DEFAULT_P99_SLO_S
 from repro.serving.workload import Request
+
+INJECTION_KINDS = ("down", "up", "slow", "slow_end", "partition", "heal")
 
 
 def fault_rate_from_reliability() -> float:
@@ -59,6 +87,63 @@ def fault_rate_from_reliability() -> float:
     from repro.resilience.faults import fault_rates_from_reliability
 
     return fault_rates_from_reliability().deadlock_per_device_hour
+
+
+@dataclasses.dataclass(frozen=True)
+class Injection:
+    """One externally scheduled chaos event.
+
+    ``kind`` is one of :data:`INJECTION_KINDS`:
+
+    * ``down`` / ``up`` — force the target replicas into / out of a
+      correlated outage (no reboot sampling; recovery comes only from
+      the paired ``up``, so a schedule fully determines the outage);
+    * ``slow`` / ``slow_end`` — multiply the targets' service times by
+      ``magnitude`` (thermal-emergency throttling) and restore them;
+    * ``partition`` / ``heal`` — sever the targets from the front door:
+      no new routing, and in-flight completions are delivered only after
+      the heal (the response cannot cross a partitioned network).
+    """
+
+    time_s: float
+    kind: str
+    targets: Tuple[int, ...] = ()
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("injection time must be non-negative")
+        if self.kind not in INJECTION_KINDS:
+            raise ValueError(
+                f"unknown injection kind {self.kind!r}; "
+                f"choose one of {INJECTION_KINDS}"
+            )
+        if self.kind == "slow" and self.magnitude < 1.0:
+            raise ValueError("slow injections must not speed replicas up")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientRetryConfig:
+    """Client-side retry behaviour — the load side of a retry storm.
+
+    A client that has not seen a response ``timeout_s`` after sending
+    re-sends the request (a duplicate the servers cannot distinguish),
+    up to ``max_retries`` times (``None`` = unbounded, the storm case).
+    ``retry_delay_s`` is the client's own send delay on top of whatever
+    backoff an armed defense imposes.
+    """
+
+    timeout_s: float = 0.25
+    max_retries: Optional[int] = None
+    retry_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("client timeout must be positive")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max retries must be non-negative")
+        if self.retry_delay_s < 0:
+            raise ValueError("retry delay must be non-negative")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +159,10 @@ class ClusterConfig:
         default_factory=AdmissionConfig
     )
     fault_rate_per_replica_hour: float = 0.0
+    # Fault-stranded requests are re-routed only while inside this many
+    # SLOs of their arrival; past it they are counted ``timed_out``.
+    # ``None`` restores the old unbounded-retry behaviour.
+    retry_deadline_slos: Optional[float] = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -87,6 +176,8 @@ class ClusterConfig:
             raise ValueError("SLO must be positive")
         if self.fault_rate_per_replica_hour < 0:
             raise ValueError("fault rate must be non-negative")
+        if self.retry_deadline_slos is not None and self.retry_deadline_slos <= 0:
+            raise ValueError("retry deadline must be positive (or None)")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,17 +200,28 @@ class ClusterReport:
     faults: int
     scale_events: Tuple[Tuple[float, int, int], ...]
     event_log: Tuple[Tuple[float, str, int], ...]
+    # Chaos-tier outcomes (all zero/empty on a defense-free run).
+    timed_out: int = 0
+    client_retries: int = 0
+    rejected: int = 0  # non-terminal front-door drops of retry copies
+    duplicate_service: int = 0  # completions for already-resolved requests
+    brownout_served: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.served + self.shed != self.offered:
+        if self.served + self.shed + self.timed_out != self.offered:
             raise ValueError(
                 "request conservation violated: "
-                f"{self.served} served + {self.shed} shed != {self.offered}"
+                f"{self.served} served + {self.shed} shed + "
+                f"{self.timed_out} timed out != {self.offered}"
             )
 
     @property
     def shed_fraction(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def timed_out_fraction(self) -> float:
+        return self.timed_out / self.offered if self.offered else 0.0
 
     @property
     def cross_host_fraction(self) -> float:
@@ -151,10 +253,10 @@ class ClusterReport:
         return self.latency_percentile(99)
 
     def meets_slo(self, p99_slo_s: float, max_shed_fraction: float = 0.0) -> bool:
-        """SLO attainment: P99 within budget and shedding bounded."""
+        """SLO attainment: P99 within budget, losses bounded."""
         return (
             self.p99_latency_s <= p99_slo_s
-            and self.shed_fraction <= max_shed_fraction
+            and self.shed_fraction + self.timed_out_fraction <= max_shed_fraction
         )
 
     def summary(self) -> str:
@@ -162,6 +264,7 @@ class ClusterReport:
         return (
             f"policy={self.policy} offered={self.offered} "
             f"served={self.served} shed={self.shed} ({self.shed_fraction:.2%}) "
+            f"timed_out={self.timed_out} "
             f"retried={self.retried} faults={self.faults}\n"
             f"p50={self.p50_latency_s * 1e3:.1f} ms "
             f"p99={self.p99_latency_s * 1e3:.1f} ms "
@@ -176,7 +279,9 @@ class _Replica:
 
     __slots__ = (
         "replica_id", "shard", "state", "grant", "queue", "in_service",
-        "in_service_cross", "service_token", "up_since", "up_seconds",
+        "in_service_cross", "in_service_rung", "service_token", "up_since",
+        "up_seconds", "slow_factor", "partitioned", "forced_down",
+        "deferred_depart",
     )
 
     def __init__(self, replica_id: int, shard: int,
@@ -188,11 +293,19 @@ class _Replica:
         self.queue: Deque[Tuple[int, bool]] = deque()
         self.in_service: Optional[int] = None
         self.in_service_cross = False
+        self.in_service_rung: Optional[str] = None
         # Bumped at each service start so a departure event left behind by
         # a fault cannot complete a later request (stale-event guard).
         self.service_token = 0
         self.up_since: Optional[float] = now_s
         self.up_seconds = 0.0
+        # Chaos-tier state: service-time inflation (thermal throttling),
+        # network reachability, and forced outages that must not be
+        # resurrected by a natural reboot.
+        self.slow_factor = 1.0
+        self.partitioned = False
+        self.forced_down = False
+        self.deferred_depart: Optional[int] = None
 
     @property
     def outstanding(self) -> int:
@@ -227,6 +340,10 @@ class ClusterSimulator:
         tracer: Optional[TraceWriter] = None,
         model_name: str = "model",
         throttle=None,
+        defense=None,
+        client: Optional[ClientRetryConfig] = None,
+        injections: Sequence[Injection] = (),
+        brownout=None,
     ) -> None:
         self.config = config
         self.service = service
@@ -237,6 +354,14 @@ class ClusterSimulator:
         # frequency-throttled.  Applied after the rng draw, so None
         # preserves byte-identical event logs.
         self.throttle = throttle
+        # Chaos hooks — all off by default; see the module docstring.
+        # ``defense`` duck-types repro.chaos.defense.DefenseRuntime and
+        # ``brownout`` repro.chaos.brownout.BrownoutController, so the
+        # cluster tier stays importable without the chaos package.
+        self.defense = defense
+        self.client = client
+        self.injections = sorted(injections, key=lambda i: i.time_s)
+        self.brownout = brownout
         self.locality = locality or ShardLocalityMap.uniform(1)
         self.autoscaler = autoscaler
         self.pool = pool or HostPool(config.num_hosts)
@@ -245,8 +370,14 @@ class ClusterSimulator:
         self._obs = active(registry)
         self._tracer = tracer
         self._drain_policy = DrainPolicy()
+        self._retry_deadline_s = (
+            None if config.retry_deadline_slos is None
+            else config.retry_deadline_slos * config.p99_slo_s
+        )
         # All randomness flows from here, consumed in a fixed order:
-        # request shards, fault schedule, then event-loop draws.
+        # request shards, fault schedule, then event-loop draws (policy
+        # sampling, reboot times, and — only when a defense is armed —
+        # backoff jitter).
         self._rng = np.random.default_rng(config.seed)
         self._shards = self.locality.sample_shards(len(self.requests), self._rng)
         self._fault_schedule = self._presample_faults()
@@ -259,13 +390,20 @@ class ClusterSimulator:
         # Outcomes.
         self._latencies: List[float] = []
         self._admitted_at: Dict[int, float] = {}
+        self._terminal: Dict[int, str] = {}
+        self._attempts: Dict[int, int] = {}
         self._served = 0
         self._shed = 0
+        self._timed_out = 0
         self._retried = 0
+        self._client_retries = 0
+        self._rejected = 0
+        self._duplicate_service = 0
         self._cross_served = 0
         self._faults = 0
         self._busy_seconds = 0.0
         self._peak_replicas = 0
+        self._brownout_counts: Dict[str, int] = {}
         self._scale_events: List[Tuple[float, int, int]] = []
         self._event_log: List[Tuple[float, str, int]] = []
         # Autoscaler window accounting.
@@ -345,9 +483,13 @@ class ClusterSimulator:
 
         Arrivals stop at the traffic horizon; the tier then drains, so
         every offered request reaches exactly one terminal outcome
-        (served or shed) — the conservation the report asserts.
+        (served, shed, or timed out) — the conservation the report
+        asserts.  Requests still unresolved once the event heap empties
+        (e.g. stuck behind a partition that never healed) are finalized
+        as timed out.
         """
         horizon = max((r.arrival_s for r in self.requests), default=0.0)
+        self._horizon = horizon
         for replica_id in range(self.config.replicas):
             self._spawn_replica()
         self._peak_replicas = len(self._replicas)
@@ -355,6 +497,13 @@ class ClusterSimulator:
             self._push(request.arrival_s, "arrival", index)
         for time_s, replica_id in self._fault_schedule:
             self._push(time_s, "fault", replica_id)
+        for injection in self.injections:
+            self._push(injection.time_s, "inject", injection)
+        if self.client is not None:
+            for index, request in enumerate(self.requests):
+                self._push(
+                    request.arrival_s + self.client.timeout_s, "client", index
+                )
         if self.autoscaler is not None:
             tick = self.autoscaler.config.tick_interval_s
             t = tick
@@ -375,6 +524,18 @@ class ClusterSimulator:
                 self._on_recover(entity)
             elif kind == "scale":
                 self._on_scale()
+            elif kind == "inject":
+                self._on_inject(entity)
+            elif kind == "client":
+                self._on_client_check(entity)
+            elif kind == "retry_fire":
+                self._on_retry_fire(entity)
+
+        # Conservation sweep: anything still pending (wedged behind an
+        # unhealed partition, a never-recovered outage) is lost work.
+        for index in range(len(self.requests)):
+            if index not in self._terminal:
+                self._finalize_timeout(index)
 
         for replica in self._replicas.values():
             replica.accrue_up_time(self._now)
@@ -397,15 +558,59 @@ class ClusterSimulator:
             faults=self._faults,
             scale_events=tuple(self._scale_events),
             event_log=tuple(self._event_log),
+            timed_out=self._timed_out,
+            client_retries=self._client_retries,
+            rejected=self._rejected,
+            duplicate_service=self._duplicate_service,
+            brownout_served=tuple(sorted(self._brownout_counts.items())),
         )
         if self._obs.enabled:
             self._obs.gauge("cluster.p99_latency_s").set(report.p99_latency_s)
             self._obs.gauge("cluster.utilization").set(report.utilization)
             self._obs.gauge("cluster.shed_fraction").set(report.shed_fraction)
+            self._obs.gauge("cluster.timed_out_fraction").set(
+                report.timed_out_fraction
+            )
             self._obs.gauge("cluster.cross_host_fraction").set(
                 report.cross_host_fraction
             )
         return report
+
+    # ------------------------------------------------------------------
+    # Terminal outcomes
+    # ------------------------------------------------------------------
+
+    def _finalize_shed(self, index: int) -> None:
+        self._terminal[index] = "shed"
+        self._shed += 1
+        self._admitted_at.pop(index, None)
+        self._emit("shed", index)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "shed", ts=self._now * 1e6,
+                tid=self._tracer.lane("front-door"),
+            )
+
+    def _finalize_timeout(self, index: int) -> None:
+        self._terminal[index] = "timeout"
+        self._timed_out += 1
+        self._admitted_at.pop(index, None)
+        self._obs.counter("cluster.timed_out").inc()
+        self._emit("timeout", index)
+
+    def _drop_copy(self, index: int) -> None:
+        """A routing attempt found no home for this copy.
+
+        Without a client the request is terminally shed (today's
+        behaviour); with one, the copy just vanishes — the client's next
+        timeout check will retry or give up.
+        """
+        if self.client is None:
+            self._finalize_shed(index)
+        else:
+            self._rejected += 1
+            self._obs.counter("cluster.rejected").inc()
+            self._emit("reject", index)
 
     # ------------------------------------------------------------------
     # Handlers
@@ -414,35 +619,63 @@ class ClusterSimulator:
     def _total_outstanding(self) -> int:
         return sum(r.outstanding for r in self._replicas.values() if r.serving)
 
-    def _route(self, index: int, retry: bool) -> None:
-        """Send request ``index`` through the front door."""
+    def _up_count(self) -> int:
+        return sum(1 for r in self._replicas.values() if r.state == "up")
+
+    def _route(self, index: int, mode: str) -> None:
+        """Send one copy of request ``index`` through the front door.
+
+        ``mode`` is ``arrival`` for the original send, ``fault_retry``
+        for a fault-stranded re-dispatch, ``client_retry`` for a
+        client-timeout duplicate.
+        """
         # Offered demand for the autoscaler: every routing attempt,
         # including ones that end up shed — an overloaded tier must see
         # the demand it is turning away, not just what it admitted.
         self._window_offered += 1
+        request = self.requests[index]
+        # Deadline propagation (defense): dead-on-arrival work is
+        # dropped at the front door, never queued.
+        if self.defense is not None and self.defense.past_deadline(
+            self._now, request.arrival_s
+        ):
+            if index not in self._terminal:
+                self._finalize_timeout(index)
+            return
+        # The always-on retry cutoff: a fault-stranded request past its
+        # deadline is lost, not re-routed forever.
+        if (mode == "fault_retry" and self._retry_deadline_s is not None
+                and self._now > request.arrival_s + self._retry_deadline_s):
+            if index not in self._terminal:
+                self._finalize_timeout(index)
+            return
+        # Brownout ladder: observe pressure, shed below the priority floor.
+        if self.brownout is not None:
+            self._brownout_observe()
+            if not self.brownout.admit(request.priority):
+                self._obs.counter("cluster.brownout_shed").inc()
+                self._emit("brownout_shed", index)
+                if index not in self._terminal:
+                    self._drop_copy(index)
+                return
         admission = self.config.admission
         shard = int(self._shards[index])
-        candidates = [
-            r for r in self._replicas.values()
-            if r.state == "up" and admission.replica_admissible(r.outstanding)
-        ]
+        candidates = healthy_candidates(
+            self._replicas.values(), admission,
+            now_s=self._now, defense=self.defense,
+        )
         if candidates and not admission.tier_admissible(self._total_outstanding()):
             candidates = []
         chosen = self.policy.choose(candidates, shard, self._rng) \
             if candidates else None
         if chosen is None:
-            self._shed += 1
-            self._admitted_at.pop(index, None)
-            self._emit("shed", index)
-            if self._tracer is not None:
-                self._tracer.instant(
-                    "shed", ts=self._now * 1e6,
-                    tid=self._tracer.lane("front-door"),
-                )
+            self._drop_copy(index)
             return
-        if not retry:
+        if mode == "arrival":
             self._admitted_at[index] = self._now
             self._obs.counter("cluster.admitted").inc()
+        if self.defense is not None:
+            self.defense.on_dispatch(chosen.replica_id, self._now)
         cross = chosen.shard != shard and self.locality.num_shards > 1
         if chosen.in_service is None:
             self._start_service(chosen, index, cross)
@@ -452,12 +685,29 @@ class ClusterSimulator:
             float(chosen.outstanding)
         )
 
+    def _brownout_observe(self) -> None:
+        level = self.brownout.on_route(
+            self._now, self._total_outstanding(), self._up_count()
+        )
+        if level != getattr(self, "_brownout_level", 0):
+            self._brownout_level = level
+            self._obs.series("cluster.brownout_level").append(self._now, level)
+            self._emit("brownout_level", level)
+
     def _start_service(self, replica: _Replica, index: int, cross: bool) -> None:
         service_s = self.service.sample(self._rng, cross_host=cross)
         if self.throttle is not None:
             service_s *= self.throttle.multiplier(self._now)
+        if replica.slow_factor != 1.0:
+            service_s *= replica.slow_factor
+        rung_name = None
+        if self.brownout is not None:
+            rung_name, multiplier = self.brownout.rung()
+            if multiplier != 1.0:
+                service_s *= multiplier
         replica.in_service = index
         replica.in_service_cross = cross
+        replica.in_service_rung = rung_name
         replica.service_token += 1
         self._push(
             self._now + service_s, "depart",
@@ -475,20 +725,66 @@ class ClusterSimulator:
             )
 
     def _on_arrival(self, index: int) -> None:
-        self._route(index, retry=False)
+        self._route(index, mode="arrival")
+
+    def _next_from_queue(self, replica: _Replica) -> None:
+        """Start the next viable queued request, discarding dead work.
+
+        With a deadline-propagating defense armed, entries past their
+        deadline are dropped at dequeue (pending ones become timeouts,
+        resolved ones are silently discarded) — a replica never burns
+        service time on an answer nobody is waiting for.  Without the
+        defense every entry is served, duplicates and stale work
+        included: that wasted capacity is exactly what makes an
+        undefended retry storm metastable.
+        """
+        deadline = None if self.defense is None else self.defense.deadline_s
+        while replica.queue:
+            index, cross = replica.queue.popleft()
+            if deadline is not None and (
+                self._now > self.requests[index].arrival_s + deadline
+            ):
+                if index in self._terminal:
+                    self._obs.counter("cluster.stale_discarded").inc()
+                else:
+                    self._finalize_timeout(index)
+                continue
+            self._start_service(replica, index, cross)
+            return
+        if replica.state == "draining":
+            self._retire_replica(replica)
 
     def _on_depart(self, entity: Tuple[int, int]) -> None:
         replica_id, token = entity
         replica = self._replicas[replica_id]
         if replica.in_service is None or replica.service_token != token:
             return  # the request was re-routed when this replica faulted
+        if replica.partitioned:
+            # The response cannot cross the partition; deliver at heal.
+            replica.deferred_depart = token
+            return
         index = replica.in_service
+        rung = replica.in_service_rung
         replica.in_service = None
+        replica.in_service_rung = None
+        if self.defense is not None:
+            self.defense.on_replica_success(replica_id, self._now)
+        if index in self._terminal:
+            # A duplicate copy of an already-resolved request: the
+            # capacity is spent, but nothing new is answered.
+            self._duplicate_service += 1
+            self._obs.counter("cluster.duplicate_service").inc()
+            self._emit("duplicate", index)
+            self._next_from_queue(replica)
+            return
+        self._terminal[index] = "serve"
         self._admitted_at.pop(index, None)
         # Latency spans original arrival (not retry time) to completion.
         start = self.requests[index].arrival_s
         self._latencies.append(self._now - start)
         self._served += 1
+        if rung is not None:
+            self._brownout_counts[rung] = self._brownout_counts.get(rung, 0) + 1
         self._emit("serve", index)
         if replica.in_service_cross:
             self._cross_served += 1
@@ -496,11 +792,40 @@ class ClusterSimulator:
         self._obs.histogram("cluster.request_latency_s").observe(
             self._now - start
         )
-        if replica.queue:
-            next_index, next_cross = replica.queue.popleft()
-            self._start_service(replica, next_index, next_cross)
-        elif replica.state == "draining":
-            self._retire_replica(replica)
+        self._next_from_queue(replica)
+
+    def _strand_and_retry(self, replica: _Replica) -> None:
+        """Re-dispatch everything a failed replica held through the
+        front door, under the retry cutoff and any armed defenses."""
+        stranded: List[int] = []
+        if replica.in_service is not None:
+            stranded.append(replica.in_service)
+            replica.in_service = None
+            replica.in_service_rung = None
+        stranded.extend(index for index, _ in replica.queue)
+        replica.queue.clear()
+        for index in stranded:
+            if index in self._terminal:
+                continue  # a duplicate copy of resolved work: just gone
+            if self.defense is not None:
+                if not self.defense.take_retry_token(self._now):
+                    self._drop_copy(index)
+                    continue
+                attempt = self._attempts.get(index, 0)
+                self._attempts[index] = attempt + 1
+                self._retried += 1
+                self._obs.counter("cluster.retries").inc()
+                delay = self.defense.backoff_s(attempt, self._rng)
+                if delay > 0:
+                    self._push(
+                        self._now + delay, "retry_fire", (index, "fault_retry")
+                    )
+                else:
+                    self._route(index, mode="fault_retry")
+            else:
+                self._retried += 1
+                self._obs.counter("cluster.retries").inc()
+                self._route(index, mode="fault_retry")
 
     def _on_fault(self, replica_id: int) -> None:
         replica = self._replicas.get(replica_id)
@@ -511,22 +836,14 @@ class ClusterSimulator:
         replica.accrue_up_time(self._now)
         replica.state = "down"
         self._emit("fault", replica_id)
+        if self.defense is not None:
+            self.defense.on_replica_failure(replica_id, self._now)
         if self._tracer is not None:
             self._tracer.instant(
                 "fault", ts=self._now * 1e6,
                 tid=self._tracer.lane(f"replica-{replica_id}"),
             )
-        # Re-dispatch everything this replica held through the front door.
-        stranded: List[int] = []
-        if replica.in_service is not None:
-            stranded.append(replica.in_service)
-            replica.in_service = None
-        stranded.extend(index for index, _ in replica.queue)
-        replica.queue.clear()
-        for index in stranded:
-            self._retried += 1
-            self._obs.counter("cluster.retries").inc()
-            self._route(index, retry=True)
+        self._strand_and_retry(replica)
         reboot_s = self._drain_policy.sample_reboot_s(self._rng)
         self._obs.histogram("cluster.reboot_s").observe(reboot_s)
         if was_draining:
@@ -537,11 +854,125 @@ class ClusterSimulator:
 
     def _on_recover(self, replica_id: int) -> None:
         replica = self._replicas[replica_id]
-        if replica.state != "down":
+        if replica.state != "down" or replica.forced_down:
             return
         replica.state = "up"
         replica.mark_up(self._now)
         self._emit("recover", replica_id)
+
+    # ------------------------------------------------------------------
+    # Chaos hooks: injections, client retries
+    # ------------------------------------------------------------------
+
+    def _on_inject(self, injection: Injection) -> None:
+        targets = injection.targets or tuple(self._replicas)
+        for replica_id in targets:
+            replica = self._replicas.get(replica_id)
+            if replica is None or replica.state == "retired":
+                continue
+            if injection.kind == "down":
+                self._inject_down(replica)
+            elif injection.kind == "up":
+                self._inject_up(replica)
+            elif injection.kind == "slow":
+                replica.slow_factor = injection.magnitude
+                self._emit("slow", replica_id)
+            elif injection.kind == "slow_end":
+                replica.slow_factor = 1.0
+                self._emit("slow_end", replica_id)
+            elif injection.kind == "partition":
+                replica.partitioned = True
+                self._emit("partition", replica_id)
+            elif injection.kind == "heal":
+                replica.partitioned = False
+                self._emit("heal", replica_id)
+                if replica.deferred_depart is not None:
+                    self._push(
+                        self._now, "depart",
+                        (replica_id, replica.deferred_depart),
+                    )
+                    replica.deferred_depart = None
+
+    def _inject_down(self, replica: _Replica) -> None:
+        replica.forced_down = True
+        if not replica.serving:
+            return  # already down: stay down until the paired "up"
+        self._faults += 1
+        was_draining = replica.state == "draining"
+        replica.accrue_up_time(self._now)
+        replica.state = "down"
+        replica.partitioned = False
+        replica.deferred_depart = None
+        self._emit("inject_down", replica.replica_id)
+        if self.defense is not None:
+            self.defense.on_replica_failure(replica.replica_id, self._now)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "inject_down", ts=self._now * 1e6,
+                tid=self._tracer.lane(f"replica-{replica.replica_id}"),
+            )
+        self._strand_and_retry(replica)
+        if was_draining:
+            self._retire_replica(replica)
+
+    def _inject_up(self, replica: _Replica) -> None:
+        replica.forced_down = False
+        if replica.state != "down":
+            return
+        replica.state = "up"
+        replica.mark_up(self._now)
+        self._emit("inject_up", replica.replica_id)
+
+    def _on_client_check(self, index: int) -> None:
+        """The client's response timer fired: retry or give up."""
+        if index in self._terminal:
+            return
+        client = self.client
+        assert client is not None
+        if self._now > self._horizon:
+            # Traffic has stopped: clients give up rather than re-send
+            # into the drain forever.  Without this cutoff a permanently
+            # dead tier (an unhealed injection) plus an unbounded client
+            # would re-push checks without end and the run could never
+            # terminate; with it, whatever the drain cannot serve is
+            # finalized as lost work.
+            self._finalize_timeout(index)
+            return
+        attempts = self._attempts.get(index, 0)
+        if client.max_retries is not None and attempts >= client.max_retries:
+            self._finalize_timeout(index)
+            return
+        arrival = self.requests[index].arrival_s
+        if self.defense is not None:
+            # Deadline propagation reaches the client too: past the
+            # deadline there is no point re-sending.
+            if self.defense.past_deadline(self._now, arrival):
+                self._finalize_timeout(index)
+                return
+            if not self.defense.take_retry_token(self._now):
+                # Over the retry budget: wait a full timeout and re-check.
+                self._push(self._now + client.timeout_s, "client", index)
+                return
+        self._attempts[index] = attempts + 1
+        delay = client.retry_delay_s
+        if self.defense is not None:
+            delay += self.defense.backoff_s(attempts, self._rng)
+        self._push(self._now + delay, "retry_fire", (index, "client_retry"))
+        self._push(self._now + delay + client.timeout_s, "client", index)
+
+    def _on_retry_fire(self, entity: Tuple[int, str]) -> None:
+        index, mode = entity
+        if index in self._terminal:
+            return
+        if mode == "client_retry":
+            self._client_retries += 1
+            self._obs.counter("cluster.client_retries").inc()
+            self._emit("client_retry", index)
+        self._route(index, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
 
     def _on_scale(self) -> None:
         assert self.autoscaler is not None
@@ -596,10 +1027,16 @@ def run_cluster(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[TraceWriter] = None,
     throttle=None,
+    defense=None,
+    client: Optional[ClientRetryConfig] = None,
+    injections: Sequence[Injection] = (),
+    brownout=None,
 ) -> ClusterReport:
     """One-call entry point: simulate a cluster run and return the report."""
     return ClusterSimulator(
         config, service, requests,
         locality=locality, autoscaler=autoscaler, pool=pool,
         registry=registry, tracer=tracer, throttle=throttle,
+        defense=defense, client=client, injections=injections,
+        brownout=brownout,
     ).run()

@@ -28,6 +28,27 @@ GOLDEN_SCALARS: Dict[str, Dict[str, Tuple[float, float]]] = {
         "full_coverage": (1.0, 1e-9),
         "triple_flip_escape_rate": (1.0, 0.05),
     },
+    "sec5_chaos": {
+        # Paper section 5.5: the retry-storm headline.  Undefended, the
+        # storm is metastable — post-clear goodput stays collapsed
+        # (<0.2%, generous band on a tiny ratio) and the tier never
+        # recovers (ttr -1.0 encodes 'never').  Defended (deadlines,
+        # retry budget, backoff, breakers) the tier is back above the
+        # 95% threshold in the first post-clear window.
+        "retry_storm.undefended.post_clear_goodput": (
+            0.0009628610729023383, 1.0
+        ),
+        "retry_storm.undefended.time_to_recovery_s": (-1.0, 1e-9),
+        "retry_storm.undefended.unavailability": (0.7263043113571548, 0.05),
+        "retry_storm.defended.post_clear_goodput": (0.9973865199449794, 0.01),
+        "retry_storm.defended.time_to_recovery_s": (0.0, 1e-9),
+        "retry_storm.defended.unavailability": (0.12044958899513503, 0.10),
+        # Section 5.3: a power-domain trip with the brownout ladder
+        # armed degrades quality instead of availability — unavailability
+        # drops ~25x versus the undefended trip.
+        "power_trip.undefended.unavailability": (0.12145613152155676, 0.10),
+        "power_trip.defended.unavailability": (0.004781077000503231, 0.25),
+    },
     "sec33_gemm_efficiency": {
         # Paper section 3.3: >92% of peak for 2K GEMMs with the new
         # instructions; the naive variant sits far below.

@@ -33,6 +33,7 @@ from repro.serving.workload import (
     diurnal_poisson_stream,
     poisson_stream,
     replay_stream,
+    with_priorities,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "replay_stream",
     "schedule_batches",
     "simulate_serving",
+    "with_priorities",
 ]

@@ -18,17 +18,54 @@ import numpy as np
 
 @dataclasses.dataclass(frozen=True)
 class Request:
-    """One inference request: arrival time and candidate count."""
+    """One inference request: arrival time and candidate count.
+
+    ``priority`` feeds the chaos tier's brownout admission (higher =
+    more important); the default 0 keeps every pre-chaos stream below
+    any raised admission floor's exemption and leaves existing behaviour
+    untouched.
+    """
 
     arrival_s: float
     samples: int
     request_id: int = 0
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.samples <= 0:
             raise ValueError("request must carry at least one sample")
         if self.arrival_s < 0:
             raise ValueError("arrival time must be non-negative")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+
+def with_priorities(
+    requests: Sequence["Request"],
+    weights: Sequence[float],
+    seed: int = 0,
+) -> List["Request"]:
+    """Assign priority tiers to a stream by seeded weighted draw.
+
+    ``weights[p]`` is the relative frequency of priority ``p`` — e.g.
+    ``(0.2, 0.5, 0.3)`` makes 20% of traffic priority 0 (best-effort),
+    50% priority 1, 30% priority 2 (critical).  The draw is seeded and
+    independent of the arrival process, so re-prioritizing a stream
+    never perturbs its timing.
+    """
+    if not weights or any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative and non-empty")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    rng = np.random.default_rng(seed)
+    priorities = rng.choice(
+        len(weights), size=len(requests), p=[w / total for w in weights]
+    )
+    return [
+        dataclasses.replace(request, priority=int(priority))
+        for request, priority in zip(requests, priorities)
+    ]
 
 
 def poisson_stream(

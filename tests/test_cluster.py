@@ -296,6 +296,7 @@ class TestClusterSimulator:
         report = _run(replicas=6, rate=120.0)
         assert report.served + report.shed == report.offered
         assert report.shed == 0
+        assert report.timed_out == 0
         assert report.offered > 1000
 
     def test_seeded_determinism(self):
@@ -346,9 +347,30 @@ class TestClusterSimulator:
         )
         assert report.faults > 0
         assert report.retried > 0
-        assert report.served + report.shed == report.offered
+        # Fault-stranded requests past the retry deadline are lost, not
+        # bounced forever: conservation is now three-way.
+        assert report.served + report.shed + report.timed_out == report.offered
         kinds = {kind for _, kind, _ in report.event_log}
         assert "fault" in kinds and "recover" in kinds
+
+    def test_fault_retries_respect_deadline_cutoff(self):
+        bounded = _run(
+            replicas=4, rate=100.0, duration=60.0,
+            config={"fault_rate_per_replica_hour": 400.0},
+        )
+        unbounded = _run(
+            replicas=4, rate=100.0, duration=60.0,
+            config={"fault_rate_per_replica_hour": 400.0,
+                    "retry_deadline_slos": None},
+        )
+        # The cutoff converts late fault-retries into timeouts; disabling
+        # it restores the old re-route-forever behaviour.
+        assert bounded.timed_out > 0
+        assert unbounded.timed_out == 0
+        assert unbounded.served + unbounded.shed == unbounded.offered
+        timeout_ids = [e for _, kind, e in bounded.event_log
+                       if kind == "timeout"]
+        assert len(timeout_ids) == bounded.timed_out == len(set(timeout_ids))
 
     def test_every_request_served_once(self):
         report = _run(replicas=4, rate=100.0, duration=30.0,
@@ -418,6 +440,7 @@ class TestClusterSimulator:
             dict(num_hosts=0),
             dict(p99_slo_s=0.0),
             dict(fault_rate_per_replica_hour=-1.0),
+            dict(retry_deadline_slos=0.0),
         ):
             with pytest.raises(ValueError):
                 ClusterConfig(**bad)

@@ -5,7 +5,7 @@ streams, replica counts, policies, and admission caps and checks the
 invariants that must hold for *every* input:
 
 * conservation — every offered request reaches exactly one terminal
-  outcome: served exactly once, or shed and counted;
+  outcome: served exactly once, or shed or timed out and counted;
 * no spontaneous work — nothing is served that never arrived;
 * determinism — one seed fully determines the run, event log included,
   for every routing policy;
@@ -88,14 +88,21 @@ def test_every_request_served_exactly_once_or_shed(gaps, params):
     shed = TallyCounter(
         e for _, kind, e in report.event_log if kind == "shed"
     )
+    timed_out = TallyCounter(
+        e for _, kind, e in report.event_log if kind == "timeout"
+    )
     # Terminal outcomes partition the offered stream.
-    assert report.served + report.shed == report.offered
+    assert report.served + report.shed + report.timed_out == report.offered
     assert sum(served.values()) == report.served
     assert sum(shed.values()) == report.shed
-    # Served exactly once, never both served and shed, none invented.
+    assert sum(timed_out.values()) == report.timed_out
+    # Each request reaches exactly one terminal outcome, none invented.
     assert all(count == 1 for count in served.values())
     assert not set(served) & set(shed)
-    assert set(served) | set(shed) == set(range(report.offered))
+    assert not set(served) & set(timed_out)
+    assert not set(shed) & set(timed_out)
+    assert (set(served) | set(shed) | set(timed_out)
+            == set(range(report.offered)))
     # One latency sample per served request.
     assert len(report.latencies_s) == report.served
 
@@ -138,4 +145,4 @@ def test_policies_agree_on_conservation_not_on_routing(gaps, seed):
     offered = {r.offered for r in reports.values()}
     assert len(offered) == 1  # identical stream through every policy
     for report in reports.values():
-        assert report.served + report.shed == report.offered
+        assert report.served + report.shed + report.timed_out == report.offered

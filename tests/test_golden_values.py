@@ -13,6 +13,11 @@ of percent for cross-platform float slack.
 
 import pytest
 
+from repro.chaos import (
+    CampaignConfig as ChaosCampaignConfig,
+    run_scenario,
+    scenario_by_name,
+)
 from repro.sdc import CampaignConfig, run_campaign
 from repro.serving import (
     CoalescingConfig,
@@ -58,6 +63,43 @@ class TestSdcGoldens:
         assert ladder["ecc"] == (pytest.approx(0.6125), 155, 44)
         assert ladder["ecc+abft"] == (pytest.approx(0.94), 24, 1)
         assert ladder["full"] == (1.0, 0, 0)
+
+
+class TestChaosGoldens:
+    """Section 5.5: the retry-storm headline (seed 0).
+
+    The same pair the ``sec5_chaos`` benchmark goldens pin: undefended
+    the storm is metastable, defended the tier recovers immediately.
+    """
+
+    @pytest.fixture(scope="class")
+    def storm_pair(self):
+        config = ChaosCampaignConfig()
+        storm = scenario_by_name("retry_storm")
+        return (
+            config,
+            run_scenario(storm, config, defended=False),
+            run_scenario(storm, config, defended=True),
+        )
+
+    def test_undefended_storm_is_metastable(self, storm_pair):
+        _, off, _ = storm_pair
+        assert not off.recovered
+        assert off.post_clear_goodput_ratio == pytest.approx(
+            0.0009628610729023383, rel=1.0
+        )
+        assert off.unavailability == pytest.approx(
+            0.7263043113571548, rel=0.05
+        )
+
+    def test_defended_storm_recovers_immediately(self, storm_pair):
+        config, _, on = storm_pair
+        assert on.recovered
+        assert on.time_to_recovery_s == 0.0
+        assert on.post_clear_goodput_ratio == pytest.approx(
+            0.9973865199449794, rel=0.01
+        )
+        assert on.post_clear_goodput_ratio >= config.recovery_threshold
 
 
 class TestHeadroomGoldens:
