@@ -1,0 +1,60 @@
+"""Global fleet headline: the region-outage capacity study.
+
+Paper: section 5's productionization story scaled to the fleet's real
+deployment unit — regions.  The ROADMAP question this regenerates: how
+many hosts per region does it take to serve 4M users at the P99 SLO
+*through a full region outage*?  The ``sec5_fleet`` goldens pin the
+study's verdict: the quiet-day minimum (4 replicas/region), the
+outage-surviving minimum with probe-driven failover and capacity spill
+(5 replicas/region — a 25% overprovision, the price of region-loss
+tolerance), and the undefended result that no swept size holds the SLO
+when the LB keeps sending a dead region its traffic.
+"""
+
+from conftest import once
+
+from repro.fleet_global import run_capacity_study
+
+
+def _run():
+    return run_capacity_study()
+
+
+def test_sec5_fleet(benchmark, record, record_json):
+    study = once(benchmark, _run)
+
+    lines = [study.summary(), ""]
+
+    # The acceptance shape: undefended breaches at every size, defended
+    # holds at some size, and the quiet-day baseline is cheaper.
+    assert study.undefended_replicas is None
+    assert study.defended_replicas is not None
+    assert study.baseline_replicas is not None
+    assert study.baseline_replicas < study.defended_replicas
+    assert study.overprovision_fraction > 0.0
+
+    verdict = study.point(study.defended_replicas)
+    # Undefended loses the dead region's traffic wholesale; defended
+    # failover bounds the loss to roughly the probe-detection window.
+    assert verdict.undefended.loss_fraction > 0.15
+    assert verdict.defended.loss_fraction <= study.max_loss_fraction
+    assert verdict.defended.spilled_served > 0
+    assert verdict.defended.p99_latency_s <= study.p99_slo_s
+    dead = verdict.defended.regions[0]
+    assert dead.detection_lag_s < 2.0
+    lines.append(
+        f"detection lag {dead.detection_lag_s:.2f}s; spilled "
+        f"{verdict.defended.spill_fraction:.1%} of global traffic at "
+        f"{verdict.defended.p99_latency_s * 1e3:.1f} ms global P99"
+    )
+
+    # Conservation held globally on every arm of every point.
+    for point in study.points:
+        for report in (point.baseline, point.undefended, point.defended):
+            assert (report.served + report.shed + report.timed_out
+                    + report.spilled_served == report.offered)
+
+    record("sec5_fleet", "\n".join(lines))
+    scalars = dict(study.scalars())
+    scalars["detection_lag_s"] = dead.detection_lag_s
+    record_json("sec5_fleet", scalars)

@@ -33,7 +33,7 @@ import dataclasses
 from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.server import ServerSpec, mtia2i_server
-from repro.cluster.simulator import Injection
+from repro.cluster.simulator import Injection, injection_sort_key
 from repro.power.thermal import (
     THROTTLE_TARGET_C,
     ThermalNetwork,
@@ -341,9 +341,21 @@ def firmware_rollout(
 
 
 def merge_schedules(*schedules: Sequence[Injection]) -> List[Injection]:
-    """Combine injection schedules into one time-ordered list."""
+    """Combine injection schedules into one deterministically ordered list.
+
+    Same-timestamp events — routine once multi-region schedules are
+    merged — are tie-broken by
+    :func:`~repro.cluster.simulator.injection_sort_key`: kind declaration
+    order (``down`` before its paired ``up``, ``slow`` before
+    ``slow_end``, ``partition`` before ``heal`` — a zero-duration event
+    nets to recovered), then target tuple, then magnitude.  The key
+    covers every ``Injection`` field, so it is a total order and the
+    merge is independent of the order its arguments are given in:
+    ``merge_schedules(a, b) == merge_schedules(b, a)`` always — the
+    property that keeps multi-region schedules seed-stable.
+    """
     merged = [injection for schedule in schedules for injection in schedule]
-    merged.sort(key=lambda i: i.time_s)
+    merged.sort(key=injection_sort_key)
     return merged
 
 
@@ -351,6 +363,7 @@ __all__ = [
     "FaultDomainTopology",
     "firmware_rollout",
     "host_failure",
+    "injection_sort_key",
     "merge_schedules",
     "network_partition",
     "power_domain_trip",

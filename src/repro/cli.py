@@ -19,6 +19,10 @@ Commands:
 * ``power``      — run the time-domain power studies: governed DVFS with
   thermal feedback, per-chip vs server-level capping, the section 5.3
   budget re-derivation, and the power-limited capacity sweep
+* ``fleet``      — run the global multi-region fleet: the region-outage
+  capacity study (hosts per region to serve N million users at the P99
+  SLO through a full region outage), probe-driven failover with
+  capacity spill versus the undefended baseline
 * ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
   and fail on regressions against the previous snapshot or the pinned
   golden values
@@ -55,6 +59,7 @@ _SMOKE_BENCHMARKS = (
     "test_cluster_capacity.py",
     "test_sec52_sec53_power.py",
     "test_sec5_chaos.py",
+    "test_sec5_fleet.py",
 )
 
 
@@ -393,6 +398,46 @@ def cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet_global import (
+        region_outage_drill,
+        run_capacity_study,
+        run_fleet,
+        standard_fleet,
+    )
+    from repro.fleet_global.capacity import smoke_study
+
+    if args.smoke:
+        study = smoke_study()
+    else:
+        study = run_capacity_study(
+            users_millions=args.users,
+            sizes=tuple(args.sizes),
+            seed=args.seed,
+        )
+    print(study.summary())
+
+    if args.detail and study.defended_replicas is not None:
+        print(f"\nregion detail at {study.defended_replicas} replicas/region:")
+        fleet = standard_fleet(
+            replicas_per_region=study.defended_replicas,
+            users_millions=study.users_millions,
+            seed=args.seed,
+        )
+        drill = region_outage_drill(fleet)
+        for defended in (False, True):
+            print()
+            print(run_fleet(fleet, drill, defended=defended).summary())
+
+    # The headline contract: failover is what survives the outage —
+    # the defended arm holds at some size, the undefended arm at none.
+    healthy = (
+        study.defended_replicas is not None
+        and study.undefended_replicas is None
+    )
+    return 0 if healthy else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import pathlib
@@ -580,6 +625,21 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--smoke", action="store_true",
                        help="small fixed-size studies for CI")
     power.set_defaults(func=cmd_power)
+
+    fleet = sub.add_parser(
+        "fleet", help="run the global multi-region capacity study"
+    )
+    fleet.add_argument("--users", type=float, default=4.0,
+                       help="global user base in millions, quoted at peak")
+    fleet.add_argument("--sizes", type=int, nargs="+",
+                       default=[3, 4, 5, 6, 8],
+                       help="replicas-per-region candidates to sweep")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--smoke", action="store_true",
+                       help="small fixed-size study for CI")
+    fleet.add_argument("--detail", action="store_true",
+                       help="print per-region detail at the verdict size")
+    fleet.set_defaults(func=cmd_fleet)
 
     bench = sub.add_parser(
         "bench",

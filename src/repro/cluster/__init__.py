@@ -42,6 +42,7 @@ from repro.cluster.simulator import (
     ClusterSimulator,
     Injection,
     fault_rate_from_reliability,
+    injection_sort_key,
     run_cluster,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "HostPool",
     "INJECTION_KINDS",
     "Injection",
+    "injection_sort_key",
     "LeastOutstandingPolicy",
     "LocalityAwarePolicy",
     "POLICY_NAMES",

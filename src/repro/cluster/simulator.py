@@ -80,6 +80,28 @@ from repro.serving.workload import Request
 INJECTION_KINDS = ("down", "up", "slow", "slow_end", "partition", "heal")
 
 
+def injection_sort_key(injection: "Injection") -> Tuple:
+    """The total order injections execute in at equal timestamps.
+
+    Sorting by time alone leaves same-timestamp events — routine once
+    multi-region schedules are merged — ordered by whatever sequence the
+    caller happened to assemble them in, which is exactly the kind of
+    hidden input-order dependence that breaks seed stability.  The
+    tie-break is the :data:`INJECTION_KINDS` declaration order (``down``
+    before its paired ``up``, ``slow`` before ``slow_end``,
+    ``partition`` before ``heal`` — so a zero-duration event nets to
+    recovered), then the target tuple, then magnitude.  Every
+    ``Injection`` field participates, so the key is a total order: any
+    arrangement of the same events sorts to the same schedule.
+    """
+    return (
+        injection.time_s,
+        INJECTION_KINDS.index(injection.kind),
+        injection.targets,
+        injection.magnitude,
+    )
+
+
 def fault_rate_from_reliability() -> float:
     """Replica-stopping faults per replica-hour, from the section 5
     reliability models (the deadlock family — the one that wedges a
@@ -360,7 +382,8 @@ class ClusterSimulator:
         # cluster tier stays importable without the chaos package.
         self.defense = defense
         self.client = client
-        self.injections = sorted(injections, key=lambda i: i.time_s)
+        # Total-order sort (not time alone): see injection_sort_key.
+        self.injections = sorted(injections, key=injection_sort_key)
         self.brownout = brownout
         self.locality = locality or ShardLocalityMap.uniform(1)
         self.autoscaler = autoscaler

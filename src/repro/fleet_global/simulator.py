@@ -1,0 +1,461 @@
+"""The global fleet simulator: anycast LB over per-region clusters.
+
+The hierarchy the paper's serving fleet actually runs: a global anycast
+front door routes each user request to its home region; each region is
+one :class:`~repro.cluster.simulator.ClusterSimulator` deployment (with
+its own injections, power throttle, and — on the defended arm — the
+full chaos defense suite and brownout ladder).  The composition is a
+deterministic two-pass design:
+
+1. **LB pass.**  Per-region diurnal streams (timezone-phased via
+   ``phase_h``) are merged in global arrival order and routed one
+   request at a time through :class:`~repro.fleet_global.failover
+   .SpillRouter`: home when the probes say the home region is healthy,
+   spilled to the least-loaded healthy region when not (paying the
+   inter-region forward leg as a shifted arrival), shed at the LB when
+   the whole planet is full or dark.
+2. **Region pass.**  Each region's final stream — home traffic plus
+   whatever spilled in — runs through its own seeded cluster
+   simulation.  Regions are independent given their streams, so the
+   passes compose without a global event heap while staying bit-for-bit
+   deterministic.
+
+The :class:`FleetReport` then reads each region's event log back and
+attributes every terminal outcome to the request's *origin* region,
+enforcing global conservation::
+
+    served + shed + timed_out + spilled_served == offered
+
+with ``shed`` including LB sheds and ``spilled_served`` latencies
+carrying both inter-region legs.  An undefended run (no monitors, no
+spill, no defenses) sends traffic at a dead region for the whole
+outage — the baseline the capacity study measures overprovision
+against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.brownout import BrownoutController, default_ladder
+from repro.chaos.defense import DefenseConfig, DefenseRuntime
+from repro.chaos.domains import merge_schedules
+from repro.cluster.admission import AdmissionConfig
+from repro.cluster.service import ServiceModel, default_service_model
+from repro.cluster.simulator import (
+    ClusterConfig,
+    ClusterReport,
+    Injection,
+    run_cluster,
+)
+from repro.fleet_global.drills import DrillSchedule
+from repro.fleet_global.failover import (
+    FailoverConfig,
+    HealthMonitor,
+    SpillRouter,
+)
+from repro.fleet_global.regions import FleetConfig
+from repro.obs.metrics import MetricsRegistry, active
+from repro.serving.workload import (
+    Request,
+    diurnal_poisson_stream,
+    with_priorities,
+)
+
+# Seed offsets separating the fleet's independent random purposes
+# (stream generation, priority assignment, cluster dynamics) so no two
+# draw from the same generator state.
+_STREAM_SEED = 0
+_PRIORITY_SEED = 101
+_CLUSTER_SEED = 211
+
+TERMINAL_KINDS = ("serve", "shed", "timeout")
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionOutcome:
+    """One region's run, attributed by request *origin*.
+
+    ``offered`` counts the requests that originated here (its users);
+    ``served`` the ones its own cluster answered, ``spilled_served`` the
+    ones another region answered after failover.  Conservation holds
+    per region: ``served + spilled_served + shed + timed_out ==
+    offered``.
+    """
+
+    name: str
+    offered: int
+    served: int
+    spilled_served: int
+    shed: int
+    timed_out: int
+    lb_shed: int
+    spilled_in_served: int  # foreign requests this region answered
+    detection_lag_s: float  # inf when the region never went down
+    report: ClusterReport
+
+    def __post_init__(self) -> None:
+        if (self.served + self.spilled_served + self.shed + self.timed_out
+                != self.offered):
+            raise ValueError(
+                f"region {self.name} conservation violated: "
+                f"{self.served} + {self.spilled_served} + {self.shed} "
+                f"+ {self.timed_out} != {self.offered}"
+            )
+
+    @property
+    def loss_fraction(self) -> float:
+        return (
+            (self.shed + self.timed_out) / self.offered
+            if self.offered else 0.0
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetReport:
+    """One global fleet run: per-origin outcomes under conservation."""
+
+    defended: bool
+    seed: int
+    duration_s: float
+    offered: int
+    served: int
+    spilled_served: int
+    shed: int
+    timed_out: int
+    lb_shed: int
+    latencies_s: Tuple[float, ...]
+    regions: Tuple[RegionOutcome, ...]
+    spill_one_way_s: float
+
+    def __post_init__(self) -> None:
+        if (self.served + self.shed + self.timed_out + self.spilled_served
+                != self.offered):
+            raise ValueError(
+                "fleet conservation violated: "
+                f"{self.served} served + {self.shed} shed + "
+                f"{self.timed_out} timed out + "
+                f"{self.spilled_served} spilled != {self.offered}"
+            )
+        if self.lb_shed > self.shed:
+            raise ValueError("LB sheds are a subset of sheds")
+
+    @property
+    def answered(self) -> int:
+        """Requests that got a response, wherever it was served."""
+        return self.served + self.spilled_served
+
+    @property
+    def loss_fraction(self) -> float:
+        return (
+            (self.shed + self.timed_out) / self.offered
+            if self.offered else 0.0
+        )
+
+    @property
+    def spill_fraction(self) -> float:
+        return self.spilled_served / self.offered if self.offered else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Exact global-latency percentile over every answered request
+        (spilled answers already carry both inter-region legs)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1,
+            int(round(percentile / 100 * (len(ordered) - 1))),
+        )
+        return ordered[index]
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50)
+
+    def meets_slo(
+        self, p99_slo_s: float, max_loss_fraction: float = 0.0
+    ) -> bool:
+        """Global SLO attainment: P99 in budget, losses bounded."""
+        return (
+            self.p99_latency_s <= p99_slo_s
+            and self.loss_fraction <= max_loss_fraction
+        )
+
+    def region(self, name: str) -> RegionOutcome:
+        for outcome in self.regions:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no region named {name!r}")
+
+    def summary(self) -> str:
+        arm = "defended" if self.defended else "undefended"
+        lines = [
+            f"fleet ({arm}): offered={self.offered} "
+            f"served={self.served} spilled={self.spilled_served} "
+            f"shed={self.shed} (lb={self.lb_shed}) "
+            f"timed_out={self.timed_out} "
+            f"loss={self.loss_fraction:.2%}\n"
+            f"p50={self.p50_latency_s * 1e3:.1f} ms "
+            f"p99={self.p99_latency_s * 1e3:.1f} ms"
+        ]
+        for outcome in self.regions:
+            lag = (f"{outcome.detection_lag_s:.2f}s"
+                   if outcome.detection_lag_s != float("inf") else "-")
+            lines.append(
+                f"  {outcome.name:<10} offered={outcome.offered:>5} "
+                f"served={outcome.served:>5} "
+                f"spilled_out={outcome.spilled_served:>4} "
+                f"spilled_in={outcome.spilled_in_served:>4} "
+                f"loss={outcome.loss_fraction:6.2%} detect={lag}"
+            )
+        return "\n".join(lines)
+
+
+def _region_streams(
+    config: FleetConfig, defended: bool
+) -> List[List[Request]]:
+    """Per-region diurnal arrivals, seeded independently per region.
+
+    The defended arm additionally tiers each stream by priority (for
+    the brownout ladder) — a seeded draw independent of arrival timing,
+    so both arms see identical arrival processes.
+    """
+    streams: List[List[Request]] = []
+    for index, spec in enumerate(config.regions):
+        stream = diurnal_poisson_stream(
+            config.traffic_model(spec),
+            duration_s=config.duration_s,
+            samples_per_request=config.samples_per_request,
+            seed=config.seed + _STREAM_SEED + index,
+        )
+        if defended:
+            stream = with_priorities(
+                stream, config.priority_weights,
+                seed=config.seed + _PRIORITY_SEED + index,
+            )
+        streams.append(stream)
+    return streams
+
+
+def _build_monitors(
+    config: FleetConfig,
+    drill: Optional[DrillSchedule],
+    failover: FailoverConfig,
+) -> Tuple[List[Optional[HealthMonitor]], List[Optional[HealthMonitor]]]:
+    """(home, spill) probe monitors per region.
+
+    Home failover reacts to outages only; spill eligibility also honors
+    partitions (a partitioned region serves its own users but cannot be
+    reached from other regions' front doors).
+    """
+    horizon = config.duration_s
+    home: List[Optional[HealthMonitor]] = []
+    spill: List[Optional[HealthMonitor]] = []
+    for spec in config.regions:
+        down = drill.unreachable_for(spec.name) if drill else ()
+        cut = drill.isolated_for(spec.name) if drill else ()
+        home.append(
+            HealthMonitor(down, horizon, failover) if down else None
+        )
+        both = tuple(sorted((*down, *cut)))
+        spill.append(
+            HealthMonitor(both, horizon, failover) if both else None
+        )
+    return home, spill
+
+
+def run_fleet(
+    config: FleetConfig,
+    drill: Optional[DrillSchedule] = None,
+    defended: bool = False,
+    failover: Optional[FailoverConfig] = None,
+    service: Optional[ServiceModel] = None,
+    extra_injections: Optional[Dict[str, Sequence[Injection]]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> FleetReport:
+    """Run the global fleet once and return the attributed report.
+
+    ``defended=False`` is the pre-fleet world: no probes, no spill, no
+    defenses — the LB keeps sending a dead region its traffic and the
+    loss lands as cluster sheds/timeouts.  ``defended=True`` arms
+    probe-driven failover with capacity spill at the front door and the
+    chaos-tier defense suite plus brownout ladder inside every region.
+    Power-budget throttles (physics, not policy) apply to both arms.
+    ``extra_injections`` layers additional per-region schedules (e.g. a
+    staged global firmware rollout) over the drill's.
+    """
+    failover = failover or FailoverConfig()
+    service = service or default_service_model()
+    streams = _region_streams(config, defended)
+    offered = sum(len(stream) for stream in streams)
+    num_regions = len(config.regions)
+
+    if defended:
+        home_monitors, spill_monitors = _build_monitors(
+            config, drill, failover
+        )
+    else:
+        home_monitors = [None] * num_regions
+        spill_monitors = [None] * num_regions
+    capacity_requests = [
+        spec.replicas * service.capacity_per_replica() * config.duration_s
+        for spec in config.regions
+    ]
+    router = SpillRouter(
+        home_monitors,
+        [spec.replicas for spec in config.regions],
+        capacity_requests,
+        failover,
+        spill_monitors=spill_monitors,
+    )
+
+    # LB pass: one global chronological sweep.  The sort key is total
+    # (time, origin region, origin index), so the assignment sequence —
+    # and with it every downstream stream — is a pure function of the
+    # seed and the drill.
+    order = sorted(
+        (request.arrival_s, origin, index)
+        for origin, stream in enumerate(streams)
+        for index, request in enumerate(stream)
+    )
+    # Per destination region: the final stream plus, aligned by index,
+    # each request's (origin region, spilled) attribution tag.
+    dest_streams: List[List[Request]] = [[] for _ in range(num_regions)]
+    dest_tags: List[List[Tuple[int, bool]]] = [[] for _ in range(num_regions)]
+    lb_shed_by_origin = [0] * num_regions
+    for arrival_s, origin, index in order:
+        assignment = router.assign(origin, arrival_s)
+        if assignment.lb_shed:
+            lb_shed_by_origin[origin] += 1
+            continue
+        request = streams[origin][index]
+        dest = assignment.region
+        if assignment.spilled:
+            request = dataclasses.replace(
+                request,
+                arrival_s=request.arrival_s + failover.spill_one_way_s,
+            )
+        dest_streams[dest].append(
+            dataclasses.replace(request, request_id=len(dest_streams[dest]))
+        )
+        dest_tags[dest].append((origin, assignment.spilled))
+
+    # Region pass: independent seeded cluster runs.
+    extra_injections = extra_injections or {}
+    reports: List[ClusterReport] = []
+    for index, spec in enumerate(config.regions):
+        schedule: Sequence[Injection] = (
+            drill.injections_for(spec.name) if drill else ()
+        )
+        extra = extra_injections.get(spec.name, ())
+        if extra:
+            schedule = merge_schedules(schedule, extra)
+        cluster_config = ClusterConfig(
+            replicas=spec.replicas,
+            num_hosts=spec.num_hosts,
+            policy=config.policy,
+            p99_slo_s=config.p99_slo_s,
+            admission=AdmissionConfig(),
+            seed=config.seed + _CLUSTER_SEED + index,
+        )
+        brownout = BrownoutController(default_ladder()) if defended else None
+        reports.append(run_cluster(
+            cluster_config, service, dest_streams[index],
+            registry=registry,
+            throttle=spec.throttle(),
+            defense=(
+                DefenseRuntime(DefenseConfig.full(deadline_s=0.3))
+                if defended else None
+            ),
+            injections=schedule,
+            brownout=brownout,
+        ))
+
+    # Attribution pass: read each region's event log back and charge
+    # every terminal outcome to the request's origin region.
+    served_o = [0] * num_regions
+    spilled_served_o = [0] * num_regions
+    shed_o = list(lb_shed_by_origin)
+    timed_out_o = [0] * num_regions
+    spilled_in_served = [0] * num_regions
+    latencies: List[float] = []
+    round_trip = 2.0 * failover.spill_one_way_s
+    for dest, report in enumerate(reports):
+        tags = dest_tags[dest]
+        for time_s, kind, index in report.event_log:
+            if kind not in TERMINAL_KINDS:
+                continue
+            origin, spilled = tags[index]
+            if kind == "serve":
+                latency = time_s - dest_streams[dest][index].arrival_s
+                if spilled:
+                    spilled_served_o[origin] += 1
+                    spilled_in_served[dest] += 1
+                    latencies.append(latency + round_trip)
+                else:
+                    served_o[origin] += 1
+                    latencies.append(latency)
+            elif kind == "shed":
+                shed_o[origin] += 1
+            else:
+                timed_out_o[origin] += 1
+
+    outcomes = tuple(
+        RegionOutcome(
+            name=spec.name,
+            offered=len(streams[index]),
+            served=served_o[index],
+            spilled_served=spilled_served_o[index],
+            shed=shed_o[index],
+            timed_out=timed_out_o[index],
+            lb_shed=lb_shed_by_origin[index],
+            spilled_in_served=spilled_in_served[index],
+            detection_lag_s=(
+                home_monitors[index].detection_lag_s()
+                if home_monitors[index] is not None else float("inf")
+            ),
+            report=reports[index],
+        )
+        for index, spec in enumerate(config.regions)
+    )
+    fleet_report = FleetReport(
+        defended=defended,
+        seed=config.seed,
+        duration_s=config.duration_s,
+        offered=offered,
+        served=sum(served_o),
+        spilled_served=sum(spilled_served_o),
+        shed=sum(shed_o),
+        timed_out=sum(timed_out_o),
+        lb_shed=sum(lb_shed_by_origin),
+        latencies_s=tuple(latencies),
+        regions=outcomes,
+        spill_one_way_s=failover.spill_one_way_s,
+    )
+    obs = active(registry)
+    if obs.enabled:
+        arm = "defended" if defended else "undefended"
+        obs.gauge(f"fleet.{arm}.p99_latency_s").set(
+            fleet_report.p99_latency_s
+        )
+        obs.gauge(f"fleet.{arm}.loss_fraction").set(
+            fleet_report.loss_fraction
+        )
+        obs.gauge(f"fleet.{arm}.spill_fraction").set(
+            fleet_report.spill_fraction
+        )
+        obs.counter(f"fleet.{arm}.lb_shed").inc(fleet_report.lb_shed)
+    return fleet_report
+
+
+__all__ = [
+    "FleetReport",
+    "RegionOutcome",
+    "TERMINAL_KINDS",
+    "run_fleet",
+]

@@ -134,6 +134,12 @@ class DiurnalTrafficModel:
     day_length_s: float = 86_400.0
     phase_s: float = 0.0  # where in the day t=0 lands (0 = trough side)
     floor_fraction: float = 0.05  # overnight trough never quite hits zero
+    # Timezone phase offset in *hours of the diurnal cycle* — a region 8
+    # timezones east peaks 8/24 of a day earlier, whatever ``day_length_s``
+    # compresses the day to.  The fleet tier threads one model per region
+    # through this field; ``phase_h=0`` leaves every rate byte-identical
+    # to the pre-fleet behaviour.
+    phase_h: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mean_rate_per_s <= 0 or self.day_length_s <= 0:
@@ -146,6 +152,10 @@ class DiurnalTrafficModel:
     def rate_at(self, t_s: float) -> float:
         """Expected arrival rate (requests/s) at wall time ``t_s``."""
         angle = 2.0 * math.pi * (t_s + self.phase_s) / self.day_length_s
+        if self.phase_h:
+            # Hours map onto the (possibly compressed) day: guarded so a
+            # zero offset leaves the float math exactly as it was.
+            angle += 2.0 * math.pi * self.phase_h / 24.0
         amplitude = self.peak_to_mean - 1.0
         raw = 1.0 + amplitude * math.sin(angle - math.pi / 2.0)
         return self.mean_rate_per_s * max(raw, self.floor_fraction)
@@ -154,6 +164,18 @@ class DiurnalTrafficModel:
     def peak_rate_per_s(self) -> float:
         """The daily-peak expected rate."""
         return self.mean_rate_per_s * self.peak_to_mean
+
+    def shifted(self, phase_h: float) -> "DiurnalTrafficModel":
+        """This curve moved ``phase_h`` hours east (peak earlier)."""
+        return dataclasses.replace(self, phase_h=self.phase_h + phase_h)
+
+    def scaled(self, factor: float) -> "DiurnalTrafficModel":
+        """This curve at ``factor`` times the traffic (per-region share)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return dataclasses.replace(
+            self, mean_rate_per_s=self.mean_rate_per_s * factor
+        )
 
 
 def diurnal_poisson_stream(

@@ -183,6 +183,75 @@ class TestInjectionBuilders:
         merged = merge_schedules(a, b)
         assert [i.time_s for i in merged] == sorted(i.time_s for i in merged)
 
+    def test_merge_schedules_is_argument_order_independent(self):
+        """The documented tie-break: same-timestamp injections sort by
+        kind declaration order, then targets, then magnitude — so any
+        argument order merges to the same schedule."""
+        a = host_failure(self.topo, host=0, at_s=3.0, duration_s=2.0)
+        b = host_failure(self.topo, host=1, at_s=3.0, duration_s=2.0)
+        c = rack_failure(self.topo, rack=1, at_s=3.0, duration_s=1.0)
+        assert merge_schedules(a, b, c) == merge_schedules(c, b, a)
+        assert merge_schedules(b, a) == merge_schedules(a, b)
+
+    def test_same_timestamp_down_sorts_before_up(self):
+        from repro.cluster import Injection, injection_sort_key
+
+        # A zero-duration outage: the pair shares one timestamp.  The
+        # tie-break must execute down before up so the net state is
+        # recovered, not wedged.
+        down = Injection(time_s=4.0, kind="down", targets=(0,))
+        up = Injection(time_s=4.0, kind="up", targets=(0,))
+        merged = merge_schedules([up], [down])
+        assert [i.kind for i in merged] == ["down", "up"]
+        assert injection_sort_key(down) < injection_sort_key(up)
+        # ...and likewise for the other paired kinds.
+        slow = Injection(time_s=4.0, kind="slow", targets=(0,),
+                         magnitude=2.0)
+        slow_end = Injection(time_s=4.0, kind="slow_end", targets=(0,))
+        assert injection_sort_key(slow) < injection_sort_key(slow_end)
+        cut = Injection(time_s=4.0, kind="partition", targets=(0,))
+        heal = Injection(time_s=4.0, kind="heal", targets=(0,))
+        assert injection_sort_key(cut) < injection_sort_key(heal)
+
+    def test_sort_key_is_a_total_order_over_all_fields(self):
+        from repro.cluster import Injection, injection_sort_key
+
+        events = [
+            Injection(time_s=1.0, kind="down", targets=(1,)),
+            Injection(time_s=1.0, kind="down", targets=(0,)),
+            Injection(time_s=1.0, kind="slow", targets=(0,), magnitude=3.0),
+            Injection(time_s=1.0, kind="slow", targets=(0,), magnitude=2.0),
+        ]
+        keys = [injection_sort_key(e) for e in sorted(
+            events, key=injection_sort_key
+        )]
+        assert keys == sorted(keys)
+        # Distinct events get distinct keys: every field participates.
+        assert len(set(keys)) == len(events)
+
+    def test_simulator_sorts_same_time_injections_deterministically(self):
+        """The constructor applies the same total order, so permuting a
+        schedule with same-timestamp events cannot change the run."""
+        from repro.cluster import Injection
+
+        service = ServiceModel(mean_service_s=0.02, jitter_sigma=0.2)
+        requests = [
+            Request(arrival_s=0.01 * i, samples=8, request_id=i)
+            for i in range(40)
+        ]
+        schedule = [
+            Injection(time_s=0.1, kind="down", targets=(0,)),
+            Injection(time_s=0.1, kind="down", targets=(1,)),
+            Injection(time_s=0.1, kind="up", targets=(0,)),
+            Injection(time_s=0.3, kind="up", targets=(1,)),
+        ]
+        config = ClusterConfig(replicas=3, num_hosts=2, seed=0)
+        forward = run_cluster(config, service, requests,
+                              injections=schedule)
+        backward = run_cluster(config, service, requests,
+                               injections=list(reversed(schedule)))
+        assert forward == backward
+
 
 class TestTokenBucket:
     def test_burst_then_refill(self):

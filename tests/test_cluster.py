@@ -510,6 +510,60 @@ class TestDiurnalTraffic:
         with pytest.raises(ValueError):
             DiurnalTrafficModel(mean_rate_per_s=1.0, peak_to_mean=0.5)
 
+    def test_phase_h_zero_is_byte_identical(self):
+        """The fleet tier's timezone knob must not perturb existing
+        users: with ``phase_h=0`` every rate is the exact pre-fleet
+        float, and the generated stream is unchanged."""
+        import math
+
+        model = DiurnalTrafficModel(mean_rate_per_s=120.0, peak_to_mean=2.2,
+                                    day_length_s=600.0, phase_s=37.0)
+        assert model.phase_h == 0.0
+        for t in np.linspace(0.0, 600.0, 113):
+            angle = 2.0 * math.pi * (t + model.phase_s) / model.day_length_s
+            raw = 1.0 + (model.peak_to_mean - 1.0) * math.sin(
+                angle - math.pi / 2.0
+            )
+            expected = model.mean_rate_per_s * max(raw, model.floor_fraction)
+            assert model.rate_at(float(t)) == expected  # exact, not approx
+        assert diurnal_poisson_stream(
+            model, duration_s=600.0, seed=7
+        ) == diurnal_poisson_stream(
+            dataclasses.replace(model, phase_h=0.0), duration_s=600.0, seed=7
+        )
+
+    def test_phase_h_moves_the_peak_east(self):
+        model = DiurnalTrafficModel(mean_rate_per_s=100.0, peak_to_mean=2.0,
+                                    day_length_s=24.0)
+        # Unshifted peak at midday; 6 hours east peaks a quarter-day
+        # earlier, whatever the compressed day length.
+        assert model.rate_at(12.0) == pytest.approx(model.peak_rate_per_s)
+        east = model.shifted(6.0)
+        assert east.rate_at(6.0) == pytest.approx(model.peak_rate_per_s)
+        assert east.rate_at(12.0) < model.rate_at(12.0)
+        # Shifts compose; a full lap restores the curve.
+        lap = model.shifted(24.0)
+        for t in (0.0, 5.0, 17.5):
+            assert lap.rate_at(t) == pytest.approx(model.rate_at(t))
+
+    def test_phase_h_shifts_the_stream(self):
+        model = DiurnalTrafficModel(mean_rate_per_s=100.0, peak_to_mean=2.5,
+                                    day_length_s=1000.0)
+        shifted = diurnal_poisson_stream(
+            model.shifted(12.0), duration_s=1000.0, seed=1
+        )
+        # Half a day of shift puts the peak where the trough was.
+        early = sum(1 for r in shifted if r.arrival_s < 200.0)
+        middle = sum(1 for r in shifted if 400.0 <= r.arrival_s < 600.0)
+        assert early > 2 * middle
+
+    def test_scaled_multiplies_the_mean(self):
+        model = DiurnalTrafficModel(mean_rate_per_s=100.0)
+        assert model.scaled(0.25).mean_rate_per_s == pytest.approx(25.0)
+        assert model.scaled(0.25).peak_to_mean == model.peak_to_mean
+        with pytest.raises(ValueError):
+            model.scaled(0.0)
+
 
 class TestCapacityPlanning:
     def test_sweep_covers_grid_and_scalars(self):

@@ -102,6 +102,46 @@ class TestChaosGoldens:
         assert on.post_clear_goodput_ratio >= config.recovery_threshold
 
 
+class TestFleetGoldens:
+    """The global region-outage capacity study verdict (seed 0).
+
+    The same claims the ``sec5_fleet`` benchmark goldens pin, via the
+    smoke sweep (which keeps both verdict sizes, so the numbers are
+    identical to the full study's).
+    """
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.fleet_global.capacity import smoke_study
+
+        return smoke_study()
+
+    def test_quiet_day_minimum_pinned(self, study):
+        assert study.baseline_replicas == 4
+
+    def test_outage_survival_costs_25_percent_overprovision(self, study):
+        assert study.defended_replicas == 5
+        assert study.overprovision_fraction == pytest.approx(0.25, rel=1e-9)
+
+    def test_no_size_survives_undefended(self, study):
+        assert study.undefended_replicas is None
+
+    def test_verdict_point_fractions_pinned(self, study):
+        point = study.point(5)
+        assert point.undefended.loss_fraction == pytest.approx(
+            0.19355545813239808, rel=0.05
+        )
+        assert point.defended.loss_fraction == pytest.approx(
+            0.018851380973257344, rel=0.10
+        )
+        assert point.defended.p99_latency_s == pytest.approx(
+            0.09661823659750723, rel=0.05
+        )
+        assert point.defended.regions[0].detection_lag_s == pytest.approx(
+            0.8, rel=1e-6
+        )
+
+
 class TestHeadroomGoldens:
     """Section 5.4/5.5: closed-form headroom equals exhaustive search."""
 
