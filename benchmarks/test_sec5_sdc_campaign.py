@@ -10,6 +10,8 @@ latency, and throughput overhead, plus the derived fault parameters the
 section 5.5 resilience simulator consumes.
 """
 
+from conftest import once
+
 from repro.sdc import (
     CampaignConfig,
     run_campaign,
@@ -25,7 +27,7 @@ def _measure():
 
 
 def test_sec5_sdc_campaign(benchmark, record, record_json):
-    config, result = benchmark(_measure)
+    config, result = once(benchmark, _measure)
     escape = triple_flip_escape_rate(samples=400, seed=0)
     lines = [
         f"{config.trials} injections x {config.requests} requests, "

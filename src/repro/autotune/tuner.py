@@ -21,6 +21,7 @@ from repro.autotune.kernel_tuner import (
     ann_tune,
     exhaustive_tune,
 )
+from repro.fastsim.memo import KernelLatencyMemo
 from repro.autotune.placement import PlacementDecision, tune_placement
 from repro.autotune.sharding import ShardPlan, plan_sharding
 from repro.graph.graph import OpGraph
@@ -93,6 +94,7 @@ def autotune_model(
         started = time.perf_counter()
 
     database = kernel_database if kernel_database is not None else PerformanceDatabase()
+    memo = KernelLatencyMemo(chip)  # one latency table per tuning pass
     final_graph = build_graph(placement.batch)
     variants: Dict[str, TuningResult] = {}
     seen_shapes: Dict[GemmShape, TuningResult] = {}
@@ -106,10 +108,10 @@ def autotune_model(
             variants[op.name] = seen_shapes[shape]
             continue
         if len(database):
-            result = ann_tune(shape, chip, database)
+            result = ann_tune(shape, chip, database, memo=memo)
             ann_hits.inc()
         else:
-            result = exhaustive_tune(shape, chip)
+            result = exhaustive_tune(shape, chip, memo=memo)
             database.add(result)
         measurements.inc(result.evaluations)
         seen_shapes[shape] = result

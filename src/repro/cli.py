@@ -447,8 +447,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         aggregate,
         diff_results,
+        dump_json,
         golden_violations,
         load_results,
+        runtime_comparison,
+        runtime_regressions,
         write_results,
     )
 
@@ -472,11 +475,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (src_dir, env.get("PYTHONPATH")) if p
         )
+        # Benchmarks need exactly one pytest plugin (pytest-benchmark,
+        # for the ``benchmark`` fixture).  Autoloading the rest of the
+        # installed plugin set (hypothesis et al.) costs ~2 s of fixed
+        # startup per file — pure noise in ``runtime_s``, which times
+        # the whole subprocess.
+        env["PYTEST_DISABLE_PLUGIN_AUTOLOAD"] = "1"
         for file, name in zip(files, names):
             started = time.perf_counter()
             proc = subprocess.run(
                 [sys.executable, "-m", "pytest", str(file), "-q",
-                 "-p", "no:cacheprovider"],
+                 "-p", "pytest_benchmark.plugin", "-p", "no:cacheprovider"],
                 env=env,
             )
             runtimes[name] = time.perf_counter() - started
@@ -509,6 +518,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for line in diff.report().splitlines():
             print(f"  {line}")
         failed = failed or not diff.clean
+        if runtimes:
+            comparison = runtime_comparison(baseline, results)
+            artifact = bench_dir / "out" / "runtime_comparison.json"
+            artifact.write_text(dump_json(comparison))
+            print(f"[bench] runtime comparison -> {artifact}")
+            for name, row in comparison.items():
+                print(
+                    f"[bench]   {name}: {row['baseline_s']:.2f} s -> "
+                    f"{row['current_s']:.2f} s "
+                    f"({row['speedup']:.2f}x speedup)"
+                )
+            for slow in runtime_regressions(baseline, results):
+                print(f"[bench] RUNTIME REGRESSION {slow}")
+                failed = True
 
     violations = golden_violations(results)
     for violation in violations:

@@ -27,6 +27,7 @@ from repro.cluster.locality import ShardLocalityMap
 from repro.cluster.routing import POLICY_NAMES
 from repro.cluster.service import ServiceModel
 from repro.cluster.simulator import ClusterConfig, ClusterReport, run_cluster
+from repro.fastsim.trials import trial_map
 from repro.obs.tracing import TraceWriter
 from repro.serving.simulator import DEFAULT_P99_SLO_S
 from repro.serving.workload import (
@@ -116,15 +117,20 @@ def replicas_needed(
 
     Starts at the work-conserving bound and walks upward — replica count
     versus tail latency is monotone enough at these scales that linear
-    search from the bound is both cheap and exact.
+    search from the bound is both cheap and exact.  Undersized counts
+    probe with ``fail_fast``: the SLO here demands *zero* loss, so the
+    first shed or timeout already proves infeasibility and the rest of
+    the run is skipped.  A run that finishes without loss is identical
+    with or without the flag, so the returned point (and its report
+    statistics) match the exhaustive search byte for byte.
     """
     if offered_qps <= 0:
         raise ValueError("offered QPS must be positive")
     requests = _stream(offered_qps, duration_s, seed)
     floor = max(1, math.ceil(offered_qps * service.mean_service_s))
-    report: Optional[ClusterReport] = None
-    for replicas in range(floor, max_replicas + 1):
-        config = ClusterConfig(
+
+    def _config(replicas: int) -> ClusterConfig:
+        return ClusterConfig(
             replicas=replicas,
             num_hosts=math.ceil(max_replicas / 24) + 1,
             policy=policy,
@@ -132,7 +138,12 @@ def replicas_needed(
             admission=admission or AdmissionConfig(),
             seed=seed,
         )
-        report = run_cluster(config, service, requests, locality=locality)
+
+    for replicas in range(floor, max_replicas + 1):
+        report = run_cluster(
+            _config(replicas), service, requests, locality=locality,
+            fail_fast=True,
+        )
         if report.meets_slo(p99_slo_s):
             return CapacityPoint(
                 policy=policy,
@@ -144,7 +155,11 @@ def replicas_needed(
                 cross_host_fraction=report.cross_host_fraction,
                 feasible=True,
             )
-    assert report is not None
+    # No swept size held the SLO: re-run the ceiling exhaustively so the
+    # reported statistics describe the full run, not a truncated probe.
+    report = run_cluster(
+        _config(max_replicas), service, requests, locality=locality
+    )
     return CapacityPoint(
         policy=policy,
         offered_qps=offered_qps,
@@ -157,6 +172,17 @@ def replicas_needed(
     )
 
 
+def _sweep_cell(args: Tuple) -> CapacityPoint:
+    """One (policy, qps) cell — module-level so it pickles for
+    :func:`~repro.fastsim.trials.trial_map` workers."""
+    policy, qps, service, p99_slo_s, locality, duration_s, seed = args
+    return replicas_needed(
+        policy, qps, service,
+        p99_slo_s=p99_slo_s, locality=locality,
+        duration_s=duration_s, seed=seed,
+    )
+
+
 def capacity_sweep(
     service: ServiceModel,
     qps_points: Sequence[float],
@@ -165,18 +191,23 @@ def capacity_sweep(
     locality: Optional[ShardLocalityMap] = None,
     duration_s: float = 40.0,
     seed: int = 0,
+    processes: Optional[int] = None,
 ) -> CapacitySweep:
-    """The full hosts-vs-QPS grid, one seeded run per cell step."""
-    points = []
-    for policy in policies:
-        for qps in qps_points:
-            points.append(
-                replicas_needed(
-                    policy, qps, service,
-                    p99_slo_s=p99_slo_s, locality=locality,
-                    duration_s=duration_s, seed=seed,
-                )
-            )
+    """The full hosts-vs-QPS grid, one seeded run per cell step.
+
+    Every cell is an independent seeded simulation, so the grid maps
+    over :func:`~repro.fastsim.trials.trial_map`: ``processes=None``
+    (the default) runs sequentially and is the reference behaviour;
+    ``processes=N`` fans cells across worker processes with results
+    returned in submission order — identical points either way, because
+    each cell's randomness is a pure function of its arguments.
+    """
+    cells = [
+        (policy, qps, service, p99_slo_s, locality, duration_s, seed)
+        for policy in policies
+        for qps in qps_points
+    ]
+    points = trial_map(_sweep_cell, cells, processes=processes)
     return CapacitySweep(p99_slo_s=p99_slo_s, points=tuple(points))
 
 

@@ -36,9 +36,7 @@ class ReplicaView(Protocol):
 
     replica_id: int
     shard: int
-
-    @property
-    def outstanding(self) -> int: ...
+    outstanding: int
 
 
 def healthy_candidates(replicas, admission, now_s=0.0, defense=None):
@@ -52,10 +50,12 @@ def healthy_candidates(replicas, admission, now_s=0.0, defense=None):
     ``defense=None`` and no partitions this reduces exactly to the
     historical up-and-admissible filter.
     """
+    # Inlined ``admission.replica_admissible`` — this filter runs once
+    # per routed request and is the cluster tier's hottest loop.
+    cap = admission.max_outstanding_per_replica
     candidates = [
         r for r in replicas
-        if r.state == "up" and not r.partitioned
-        and admission.replica_admissible(r.outstanding)
+        if r.state == "up" and not r.partitioned and r.outstanding < cap
     ]
     if defense is not None:
         candidates = [
@@ -79,7 +79,22 @@ class RoutingPolicy:
 
 
 def _least_outstanding(candidates: Sequence[ReplicaView]) -> ReplicaView:
-    return min(candidates, key=lambda r: (r.outstanding, r.replica_id))
+    # Manual scan, not ``min(..., key=...)`` — this runs once per routed
+    # request and the key-tuple allocations dominate at that rate.  Ties
+    # break on replica id, and the scan keeps the first (lowest-id)
+    # minimum, so the result is the historical ``(outstanding,
+    # replica_id)`` ordering exactly.
+    best = candidates[0]
+    best_outstanding = best.outstanding
+    for candidate in candidates:
+        outstanding = candidate.outstanding
+        if outstanding < best_outstanding or (
+            outstanding == best_outstanding
+            and candidate.replica_id < best.replica_id
+        ):
+            best = candidate
+            best_outstanding = outstanding
+    return best
 
 
 class RoundRobinPolicy(RoutingPolicy):

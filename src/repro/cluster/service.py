@@ -43,14 +43,20 @@ class ServiceModel:
             raise ValueError("jitter sigma must be non-negative")
         if self.cross_host_penalty < 1:
             raise ValueError("cross-host penalty must be at least 1")
+        # ``sample`` runs once per routed request; precompute the
+        # log-normal location parameter (same expression, same float).
+        object.__setattr__(
+            self,
+            "_lognormal_mu",
+            math.log(self.mean_service_s) - 0.5 * self.jitter_sigma**2,
+        )
 
     def sample(self, rng: np.random.Generator, cross_host: bool = False) -> float:
         """Draw one service time (mean-preserving log-normal jitter)."""
         if self.jitter_sigma == 0:
             base = self.mean_service_s
         else:
-            mu = math.log(self.mean_service_s) - 0.5 * self.jitter_sigma**2
-            base = float(rng.lognormal(mu, self.jitter_sigma))
+            base = float(rng.lognormal(self._lognormal_mu, self.jitter_sigma))
         return base * (self.cross_host_penalty if cross_host else 1.0)
 
     def capacity_per_replica(self) -> float:

@@ -57,12 +57,13 @@ the property tests assert byte-identical event logs.  An attached
 from __future__ import annotations
 
 import dataclasses
-import heapq
-import itertools
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.fastsim.engine import EventEngine
+from repro.fastsim.vectorize import seeded_poisson_arrivals, sorted_percentile
 
 from repro.cluster.admission import AdmissionConfig
 from repro.cluster.autoscaler import Autoscaler
@@ -259,12 +260,8 @@ class ClusterReport:
         """Exact request-latency percentile (e.g. 99 for P99)."""
         if not self.latencies_s:
             return 0.0
-        ordered = sorted(self.latencies_s)
-        index = min(
-            len(ordered) - 1,
-            int(round(percentile / 100 * (len(ordered) - 1))),
-        )
-        return ordered[index]
+        ordered = np.sort(np.asarray(self.latencies_s, dtype=np.float64))
+        return sorted_percentile(ordered, percentile)
 
     @property
     def p50_latency_s(self) -> float:
@@ -303,7 +300,7 @@ class _Replica:
         "replica_id", "shard", "state", "grant", "queue", "in_service",
         "in_service_cross", "in_service_rung", "service_token", "up_since",
         "up_seconds", "slow_factor", "partitioned", "forced_down",
-        "deferred_depart",
+        "deferred_depart", "outstanding",
     )
 
     def __init__(self, replica_id: int, shard: int,
@@ -328,9 +325,15 @@ class _Replica:
         self.partitioned = False
         self.forced_down = False
         self.deferred_depart: Optional[int] = None
+        # Queue depth, maintained incrementally (len(queue) + one if a
+        # request is in service) — the routing hot path reads this on
+        # every candidate, so it is a counter rather than a recount.
+        # ``recount()`` is the definition; ``engine="reference"``
+        # revalidates the counter against it after every event.
+        self.outstanding = 0
 
-    @property
-    def outstanding(self) -> int:
+    def recount(self) -> int:
+        """The definitional queue depth the counter must always equal."""
         return len(self.queue) + (1 if self.in_service is not None else 0)
 
     @property
@@ -366,6 +369,8 @@ class ClusterSimulator:
         client: Optional[ClientRetryConfig] = None,
         injections: Sequence[Injection] = (),
         brownout=None,
+        engine: str = "fast",
+        fail_fast: bool = False,
     ) -> None:
         self.config = config
         self.service = service
@@ -391,6 +396,11 @@ class ClusterSimulator:
         self.model_name = model_name
         self.policy: RoutingPolicy = make_policy(config.policy)
         self._obs = active(registry)
+        # Zero-overhead-when-disabled: per-event instrument calls are
+        # gated on this flag (a no-op call still costs a name lookup),
+        # and enabled-path counters are cached per kind.
+        self._obs_enabled = self._obs.enabled
+        self._event_counters: Dict[str, object] = {}
         self._tracer = tracer
         self._drain_policy = DrainPolicy()
         self._retry_deadline_s = (
@@ -402,10 +412,47 @@ class ClusterSimulator:
         # sampling, reboot times, and — only when a defense is armed —
         # backoff jitter).
         self._rng = np.random.default_rng(config.seed)
-        self._shards = self.locality.sample_shards(len(self.requests), self._rng)
+        # Plain ints up front: ``_route`` reads one shard per routing
+        # attempt, and repeated numpy-scalar conversion there is
+        # measurable at event-loop rates.
+        self._shards = [
+            int(s)
+            for s in self.locality.sample_shards(len(self.requests), self._rng)
+        ]
         self._fault_schedule = self._presample_faults()
-        self._heap: List[Tuple[float, int, str, object]] = []
-        self._seq = itertools.count()
+        # ``fast`` and ``calendar`` differ only in event-queue backend
+        # (identical pop order by construction); ``reference`` is the
+        # verifier mode — it revalidates the incremental queue-depth
+        # counters against full recomputation after every event.
+        if engine in ("fast", "reference"):
+            backend = "heap"
+        elif engine == "calendar":
+            backend = "calendar"
+        else:
+            raise ValueError(
+                f"unknown cluster engine {engine!r}; "
+                f"expected 'fast', 'calendar', or 'reference'"
+            )
+        self._validate = engine == "reference"
+        self.engine = engine
+        # Feasibility-probe mode: stop simulating once SLO failure is
+        # *certain* — the first lost request (shed or timed out), or
+        # more completions over ``config.p99_slo_s`` than the final P99
+        # could tolerate.  Sound only for callers that discard
+        # everything but the ``meets_slo(config.p99_slo_s,
+        # max_shed_fraction=0)`` verdict: losses and over-SLO
+        # completions never un-happen, and the over-SLO budget is
+        # computed at the maximum possible served count (the nearest-
+        # rank allowance is nondecreasing in count), so any run the
+        # probe aborts would have failed in full too — and a run that
+        # holds the SLO never trips either certificate, making it
+        # byte-identical with the flag on or off.  An aborted run's
+        # report stays conservation-clean (the drain sweep times out
+        # whatever is pending) but describes a truncated run.
+        self._fail_fast = fail_fast
+        self._slo_over = 0
+        self._events = EventEngine(backend=backend)
+        self._outstanding_total = 0
         self._replicas: Dict[int, _Replica] = {}
         self._next_replica_id = 0
         self._target = config.replicas
@@ -452,20 +499,22 @@ class ClusterSimulator:
         id_space *= 2
         arrivals: List[Tuple[float, int]] = []
         for replica_id in range(id_space):
-            t = 0.0
-            while True:
-                t += self._rng.exponential(1.0 / rate_per_s)
-                if t >= horizon:
-                    break
-                arrivals.append((t, replica_id))
+            # Vectorized but stream-identical to the per-id scalar loop.
+            times = seeded_poisson_arrivals(self._rng, rate_per_s, horizon)
+            arrivals.extend((float(t), replica_id) for t in times)
         arrivals.sort()
         return arrivals
 
     def _push(self, time_s: float, kind: str, entity: object = -1) -> None:
-        heapq.heappush(self._heap, (time_s, next(self._seq), kind, entity))
+        self._events.schedule(time_s, (kind, entity))
 
     def _emit(self, kind: str, entity: int = -1) -> None:
-        self._obs.counter(f"cluster.events.{kind}").inc()
+        if self._obs_enabled:
+            counter = self._event_counters.get(kind)
+            if counter is None:
+                counter = self._obs.counter(f"cluster.events.{kind}")
+                self._event_counters[kind] = counter
+            counter.inc()
         self._event_log.append((self._now, kind, entity))
 
     def _spawn_replica(self) -> Optional[_Replica]:
@@ -516,29 +565,64 @@ class ClusterSimulator:
         for replica_id in range(self.config.replicas):
             self._spawn_replica()
         self._peak_replicas = len(self._replicas)
-        for index, request in enumerate(self.requests):
-            self._push(request.arrival_s, "arrival", index)
-        for time_s, replica_id in self._fault_schedule:
-            self._push(time_s, "fault", replica_id)
-        for injection in self.injections:
-            self._push(injection.time_s, "inject", injection)
+        # The pre-known event populations are all time-sorted, so they
+        # stage as cursor streams (see EventEngine.schedule_batch) and
+        # the heap carries only the in-flight runtime events (departs,
+        # recoveries, retry timers) — pop order is identical, the
+        # per-event log factor is not.
+        self._events.schedule_batch(
+            (request.arrival_s, ("arrival", index))
+            for index, request in enumerate(self.requests)
+        )
+        self._events.schedule_batch(
+            (time_s, ("fault", replica_id))
+            for time_s, replica_id in self._fault_schedule
+        )
+        self._events.schedule_batch(
+            (injection.time_s, ("inject", injection))
+            for injection in self.injections
+        )
         if self.client is not None:
-            for index, request in enumerate(self.requests):
-                self._push(
-                    request.arrival_s + self.client.timeout_s, "client", index
-                )
+            timeout_s = self.client.timeout_s
+            self._events.schedule_batch(
+                (request.arrival_s + timeout_s, ("client", index))
+                for index, request in enumerate(self.requests)
+            )
         if self.autoscaler is not None:
             tick = self.autoscaler.config.tick_interval_s
+            ticks = []
             t = tick
             while t < horizon:
-                self._push(t, "scale", -1)
+                ticks.append((t, ("scale", -1)))
                 t += tick
+            self._events.schedule_batch(ticks)
 
-        while self._heap:
-            time_s, _, kind, entity = heapq.heappop(self._heap)
+        events = self._events
+        validate = self._validate
+        fail_fast = self._fail_fast
+        slo_budget = 0
+        if fail_fast and self.requests:
+            # Largest over-SLO completion count the final P99 could
+            # absorb, at the maximum possible served count (see the
+            # nearest-rank formula in fastsim.vectorize
+            # .sorted_percentile; the allowance only grows with count).
+            n = len(self.requests)
+            slo_budget = (n - 1) - min(n - 1, int(round(0.99 * (n - 1))))
+        pop = events.pop
+        route = self._route
+        while True:
+            if fail_fast and (
+                self._shed or self._timed_out
+                or self._slo_over > slo_budget
+            ):
+                break
+            try:
+                time_s, _, (kind, entity) = pop()
+            except IndexError:
+                break
             self._now = time_s
             if kind == "arrival":
-                self._on_arrival(entity)
+                route(entity, mode="arrival")
             elif kind == "depart":
                 self._on_depart(entity)
             elif kind == "fault":
@@ -553,6 +637,8 @@ class ClusterSimulator:
                 self._on_client_check(entity)
             elif kind == "retry_fire":
                 self._on_retry_fire(entity)
+            if validate:
+                self._validate_counters(kind)
 
         # Conservation sweep: anything still pending (wedged behind an
         # unhealed partition, a never-recovered outage) is lost work.
@@ -618,7 +704,8 @@ class ClusterSimulator:
         self._terminal[index] = "timeout"
         self._timed_out += 1
         self._admitted_at.pop(index, None)
-        self._obs.counter("cluster.timed_out").inc()
+        if self._obs_enabled:
+            self._obs.counter("cluster.timed_out").inc()
         self._emit("timeout", index)
 
     def _drop_copy(self, index: int) -> None:
@@ -632,7 +719,8 @@ class ClusterSimulator:
             self._finalize_shed(index)
         else:
             self._rejected += 1
-            self._obs.counter("cluster.rejected").inc()
+            if self._obs_enabled:
+                self._obs.counter("cluster.rejected").inc()
             self._emit("reject", index)
 
     # ------------------------------------------------------------------
@@ -640,7 +728,33 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
 
     def _total_outstanding(self) -> int:
-        return sum(r.outstanding for r in self._replicas.values() if r.serving)
+        return self._outstanding_total
+
+    def _validate_counters(self, kind: str) -> None:
+        """Reference-engine invariant check, run after every event: the
+        incremental per-replica and tier-wide queue-depth counters must
+        equal full recomputation, and non-serving replicas must hold no
+        work (the legacy tier-wide sum skipped them, the counter does
+        not — equality requires both)."""
+        serving_total = 0
+        full_total = 0
+        for replica in self._replicas.values():
+            expected = replica.recount()
+            if replica.outstanding != expected:
+                raise AssertionError(
+                    f"replica {replica.replica_id} outstanding counter "
+                    f"{replica.outstanding} != recount {expected} "
+                    f"after {kind!r} at t={self._now}"
+                )
+            full_total += expected
+            if replica.serving:
+                serving_total += expected
+        if self._outstanding_total != full_total or serving_total != full_total:
+            raise AssertionError(
+                f"tier outstanding counter {self._outstanding_total} != "
+                f"recount {full_total} (serving {serving_total}) "
+                f"after {kind!r} at t={self._now}"
+            )
 
     def _up_count(self) -> int:
         return sum(1 for r in self._replicas.values() if r.state == "up")
@@ -676,13 +790,14 @@ class ClusterSimulator:
         if self.brownout is not None:
             self._brownout_observe()
             if not self.brownout.admit(request.priority):
-                self._obs.counter("cluster.brownout_shed").inc()
+                if self._obs_enabled:
+                    self._obs.counter("cluster.brownout_shed").inc()
                 self._emit("brownout_shed", index)
                 if index not in self._terminal:
                     self._drop_copy(index)
                 return
         admission = self.config.admission
-        shard = int(self._shards[index])
+        shard = self._shards[index]
         candidates = healthy_candidates(
             self._replicas.values(), admission,
             now_s=self._now, defense=self.defense,
@@ -696,7 +811,8 @@ class ClusterSimulator:
             return
         if mode == "arrival":
             self._admitted_at[index] = self._now
-            self._obs.counter("cluster.admitted").inc()
+            if self._obs_enabled:
+                self._obs.counter("cluster.admitted").inc()
         if self.defense is not None:
             self.defense.on_dispatch(chosen.replica_id, self._now)
         cross = chosen.shard != shard and self.locality.num_shards > 1
@@ -704,9 +820,12 @@ class ClusterSimulator:
             self._start_service(chosen, index, cross)
         else:
             chosen.queue.append((index, cross))
-        self._obs.histogram("cluster.routed_outstanding").observe(
-            float(chosen.outstanding)
-        )
+            chosen.outstanding += 1
+            self._outstanding_total += 1
+        if self._obs_enabled:
+            self._obs.histogram("cluster.routed_outstanding").observe(
+                float(chosen.outstanding)
+            )
 
     def _brownout_observe(self) -> None:
         level = self.brownout.on_route(
@@ -732,6 +851,8 @@ class ClusterSimulator:
         replica.in_service_cross = cross
         replica.in_service_rung = rung_name
         replica.service_token += 1
+        replica.outstanding += 1
+        self._outstanding_total += 1
         self._push(
             self._now + service_s, "depart",
             (replica.replica_id, replica.service_token),
@@ -764,11 +885,14 @@ class ClusterSimulator:
         deadline = None if self.defense is None else self.defense.deadline_s
         while replica.queue:
             index, cross = replica.queue.popleft()
+            replica.outstanding -= 1
+            self._outstanding_total -= 1
             if deadline is not None and (
                 self._now > self.requests[index].arrival_s + deadline
             ):
                 if index in self._terminal:
-                    self._obs.counter("cluster.stale_discarded").inc()
+                    if self._obs_enabled:
+                        self._obs.counter("cluster.stale_discarded").inc()
                 else:
                     self._finalize_timeout(index)
                 continue
@@ -790,13 +914,16 @@ class ClusterSimulator:
         rung = replica.in_service_rung
         replica.in_service = None
         replica.in_service_rung = None
+        replica.outstanding -= 1
+        self._outstanding_total -= 1
         if self.defense is not None:
             self.defense.on_replica_success(replica_id, self._now)
         if index in self._terminal:
             # A duplicate copy of an already-resolved request: the
             # capacity is spent, but nothing new is answered.
             self._duplicate_service += 1
-            self._obs.counter("cluster.duplicate_service").inc()
+            if self._obs_enabled:
+                self._obs.counter("cluster.duplicate_service").inc()
             self._emit("duplicate", index)
             self._next_from_queue(replica)
             return
@@ -804,17 +931,22 @@ class ClusterSimulator:
         self._admitted_at.pop(index, None)
         # Latency spans original arrival (not retry time) to completion.
         start = self.requests[index].arrival_s
-        self._latencies.append(self._now - start)
+        latency = self._now - start
+        self._latencies.append(latency)
+        if self._fail_fast and latency > self.config.p99_slo_s:
+            self._slo_over += 1
         self._served += 1
         if rung is not None:
             self._brownout_counts[rung] = self._brownout_counts.get(rung, 0) + 1
         self._emit("serve", index)
         if replica.in_service_cross:
             self._cross_served += 1
-            self._obs.counter("cluster.cross_host_served").inc()
-        self._obs.histogram("cluster.request_latency_s").observe(
-            self._now - start
-        )
+            if self._obs_enabled:
+                self._obs.counter("cluster.cross_host_served").inc()
+        if self._obs_enabled:
+            self._obs.histogram("cluster.request_latency_s").observe(
+                self._now - start
+            )
         self._next_from_queue(replica)
 
     def _strand_and_retry(self, replica: _Replica) -> None:
@@ -825,7 +957,11 @@ class ClusterSimulator:
             stranded.append(replica.in_service)
             replica.in_service = None
             replica.in_service_rung = None
+            replica.outstanding -= 1
+            self._outstanding_total -= 1
         stranded.extend(index for index, _ in replica.queue)
+        self._outstanding_total -= len(replica.queue)
+        replica.outstanding -= len(replica.queue)
         replica.queue.clear()
         for index in stranded:
             if index in self._terminal:
@@ -837,7 +973,8 @@ class ClusterSimulator:
                 attempt = self._attempts.get(index, 0)
                 self._attempts[index] = attempt + 1
                 self._retried += 1
-                self._obs.counter("cluster.retries").inc()
+                if self._obs_enabled:
+                    self._obs.counter("cluster.retries").inc()
                 delay = self.defense.backoff_s(attempt, self._rng)
                 if delay > 0:
                     self._push(
@@ -847,7 +984,8 @@ class ClusterSimulator:
                     self._route(index, mode="fault_retry")
             else:
                 self._retried += 1
-                self._obs.counter("cluster.retries").inc()
+                if self._obs_enabled:
+                    self._obs.counter("cluster.retries").inc()
                 self._route(index, mode="fault_retry")
 
     def _on_fault(self, replica_id: int) -> None:
@@ -868,7 +1006,8 @@ class ClusterSimulator:
             )
         self._strand_and_retry(replica)
         reboot_s = self._drain_policy.sample_reboot_s(self._rng)
-        self._obs.histogram("cluster.reboot_s").observe(reboot_s)
+        if self._obs_enabled:
+            self._obs.histogram("cluster.reboot_s").observe(reboot_s)
         if was_draining:
             # A draining replica that wedges is simply retired post-reboot.
             self._retire_replica(replica)
@@ -989,7 +1128,8 @@ class ClusterSimulator:
             return
         if mode == "client_retry":
             self._client_retries += 1
-            self._obs.counter("cluster.client_retries").inc()
+            if self._obs_enabled:
+                self._obs.counter("cluster.client_retries").inc()
             self._emit("client_retry", index)
         self._route(index, mode=mode)
 
@@ -1054,12 +1194,28 @@ def run_cluster(
     client: Optional[ClientRetryConfig] = None,
     injections: Sequence[Injection] = (),
     brownout=None,
+    engine: str = "fast",
+    fail_fast: bool = False,
 ) -> ClusterReport:
-    """One-call entry point: simulate a cluster run and return the report."""
+    """One-call entry point: simulate a cluster run and return the report.
+
+    ``engine`` selects the event substrate: ``fast`` (binary heap,
+    default), ``calendar`` (bucketed calendar queue — identical pop
+    order), or ``reference`` (fast plus per-event revalidation of the
+    incremental queue-depth counters — the differential-test oracle).
+    All three are byte-identical in every report field.
+
+    ``fail_fast`` stops the run at the first lost request — a
+    feasibility probe for searches that only ask "does this size hold
+    the SLO with zero loss?", where one loss already decides the
+    answer.  A run that finishes without loss is untouched by the flag
+    (identical events, identical report); an aborted run's report is
+    conservation-clean but truncated, so use it only for the verdict.
+    """
     return ClusterSimulator(
         config, service, requests,
         locality=locality, autoscaler=autoscaler, pool=pool,
         registry=registry, tracer=tracer, throttle=throttle,
         defense=defense, client=client, injections=injections,
-        brownout=brownout,
+        brownout=brownout, engine=engine, fail_fast=fail_fast,
     ).run()

@@ -1,0 +1,44 @@
+"""Opt-in multiprocessing over independent seeded trials.
+
+Determinism rules (also documented in DESIGN.md):
+
+- Sequential is the default (``processes=None``): ``trial_map`` is then
+  exactly ``[fn(item) for item in items]`` — same call order, same RNG
+  consumption, byte-identical results.
+- Process mode is *only* sound for trials that are independent pure
+  functions of their arguments (each trial seeds its own generators
+  from its item; no shared mutable state, no registry/tracer capture).
+  Every sweep wired through this helper already has that shape — one
+  seeded simulator run per grid cell.
+- Results always come back in submission order regardless of worker
+  completion order, so downstream aggregation is order-stable.
+- ``fn`` and the items must be picklable (module-level function,
+  dataclass/ tuple arguments) for process mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def trial_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over independent trials; fork out only when asked."""
+    materialized = list(items)
+    if processes is None or processes <= 1 or len(materialized) <= 1:
+        return [fn(item) for item in materialized]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    workers = min(processes, len(materialized))
+    with context.Pool(processes=workers) as pool:
+        # Pool.map preserves submission order.
+        return pool.map(fn, materialized)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.fastsim.trials import trial_map
 from repro.fleet_global.drills import region_outage_drill
 from repro.fleet_global.failover import FailoverConfig
 from repro.fleet_global.regions import FleetConfig, standard_fleet
@@ -183,6 +184,32 @@ class CapacityStudy:
         return "\n".join(lines)
 
 
+def _study_point(args: Tuple) -> CapacityPoint:
+    """All three arms for one candidate size — module-level so the
+    sweep's sizes pickle for :func:`~repro.fastsim.trials.trial_map`."""
+    size, users_millions, duration_s, seed, failover, registry = args
+    fleet = standard_fleet(
+        replicas_per_region=size,
+        users_millions=users_millions,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    drill = region_outage_drill(fleet)
+    return CapacityPoint(
+        replicas_per_region=size,
+        hosts_per_region=fleet.regions[0].num_hosts,
+        baseline=run_fleet(fleet, registry=registry),
+        undefended=run_fleet(
+            fleet, drill, defended=False, failover=failover,
+            registry=registry,
+        ),
+        defended=run_fleet(
+            fleet, drill, defended=True, failover=failover,
+            registry=registry,
+        ),
+    )
+
+
 def run_capacity_study(
     users_millions: float = 4.0,
     sizes: Sequence[int] = (3, 4, 5, 6, 8),
@@ -191,35 +218,40 @@ def run_capacity_study(
     max_loss_fraction: float = DEFAULT_MAX_LOSS_FRACTION,
     failover: Optional[FailoverConfig] = None,
     registry: Optional[MetricsRegistry] = None,
+    processes: Optional[int] = None,
 ) -> CapacityStudy:
-    """Sweep replicas-per-region and find the outage-surviving minimum."""
+    """Sweep replicas-per-region and find the outage-surviving minimum.
+
+    Each candidate size is an independent seeded trial (three fleet
+    runs), so the sweep maps over
+    :func:`~repro.fastsim.trials.trial_map`: ``processes=None`` runs
+    sequentially (the reference behaviour); ``processes=N`` fans sizes
+    across worker processes with identical results in the same order.
+    A live metrics ``registry`` cannot cross process boundaries, so the
+    parallel path refuses one rather than silently dropping metrics.
+    """
     if not sizes or any(size <= 0 for size in sizes):
         raise ValueError("sizes must be positive replica counts")
-    sizes = tuple(sorted(set(sizes)))
-    points = []
-    fleet: Optional[FleetConfig] = None
-    for size in sizes:
-        fleet = standard_fleet(
-            replicas_per_region=size,
-            users_millions=users_millions,
-            duration_s=duration_s,
-            seed=seed,
+    if processes is not None and processes != 1 and registry is not None:
+        raise ValueError(
+            "parallel capacity study cannot carry a metrics registry; "
+            "detach the registry or run with processes=None"
         )
-        drill = region_outage_drill(fleet)
-        points.append(CapacityPoint(
-            replicas_per_region=size,
-            hosts_per_region=fleet.regions[0].num_hosts,
-            baseline=run_fleet(fleet, registry=registry),
-            undefended=run_fleet(
-                fleet, drill, defended=False, failover=failover,
-                registry=registry,
-            ),
-            defended=run_fleet(
-                fleet, drill, defended=True, failover=failover,
-                registry=registry,
-            ),
-        ))
-    assert fleet is not None
+    sizes = tuple(sorted(set(sizes)))
+    points = trial_map(
+        _study_point,
+        [
+            (size, users_millions, duration_s, seed, failover, registry)
+            for size in sizes
+        ],
+        processes=processes,
+    )
+    fleet = standard_fleet(
+        replicas_per_region=sizes[-1],
+        users_millions=users_millions,
+        duration_s=duration_s,
+        seed=seed,
+    )
 
     def smallest(pick) -> Optional[int]:
         for point in points:

@@ -277,6 +277,7 @@ def run_fleet(
     service: Optional[ServiceModel] = None,
     extra_injections: Optional[Dict[str, Sequence[Injection]]] = None,
     registry: Optional[MetricsRegistry] = None,
+    engine: str = "fast",
 ) -> FleetReport:
     """Run the global fleet once and return the attributed report.
 
@@ -335,14 +336,19 @@ def run_fleet(
             continue
         request = streams[origin][index]
         dest = assignment.region
+        arrival = request.arrival_s
         if assignment.spilled:
-            request = dataclasses.replace(
-                request,
-                arrival_s=request.arrival_s + failover.spill_one_way_s,
-            )
-        dest_streams[dest].append(
-            dataclasses.replace(request, request_id=len(dest_streams[dest]))
-        )
+            arrival += failover.spill_one_way_s
+        bucket = dest_streams[dest]
+        # Direct construction instead of ``dataclasses.replace`` — this
+        # re-stamp runs once per routed request fleet-wide and the
+        # field-introspecting replace() dominated the LB pass.
+        bucket.append(Request(
+            arrival_s=arrival,
+            samples=request.samples,
+            request_id=len(bucket),
+            priority=request.priority,
+        ))
         dest_tags[dest].append((origin, assignment.spilled))
 
     # Region pass: independent seeded cluster runs.
@@ -374,6 +380,7 @@ def run_fleet(
             ),
             injections=schedule,
             brownout=brownout,
+            engine=engine,
         ))
 
     # Attribution pass: read each region's event log back and charge

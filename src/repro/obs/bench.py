@@ -219,6 +219,110 @@ def diff_results(baseline: Dict, current: Dict, rel_tol: float = 0.05,
     )
 
 
+# ----------------------------------------------------------------------
+# Runtime guard
+# ----------------------------------------------------------------------
+
+# ``runtime_s`` is volatile for the scalar diff (machines differ), but a
+# *large* slowdown against the committed baseline is exactly what the
+# PR-8 fast-engine work must never silently lose.  The guard's
+# tolerance is deliberately loose where the diff's is tight:
+#
+# * a benchmark regresses only past ``RUNTIME_REGRESSION_RATIO`` times
+#   its baseline (1.5x — far above run-to-run noise, far below the
+#   2x-5x speedups the fast engines bought);
+# * sub-second benchmarks get an absolute floor instead: current
+#   runtime must exceed ``max(RUNTIME_GUARD_FLOOR_S, ratio * baseline)``
+#   before the guard fires, so interpreter start-up jitter on a 0.3 s
+#   benchmark cannot fail CI.
+#
+# To re-baseline after an *intended* slowdown, commit the freshly
+# written results file (``python -m repro bench`` then copy ``--out``
+# over ``--baseline``).
+RUNTIME_REGRESSION_RATIO = 1.5
+RUNTIME_GUARD_FLOOR_S = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeRegression:
+    """One benchmark past its runtime budget."""
+
+    benchmark: str
+    baseline_s: float
+    current_s: float
+    budget_s: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_s <= 0:
+            return float("inf")
+        return self.current_s / self.baseline_s
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}: {self.current_s:.2f} s vs baseline "
+            f"{self.baseline_s:.2f} s ({self.ratio:.2f}x, budget "
+            f"{self.budget_s:.2f} s) — if intended, re-baseline by "
+            f"committing the new results file"
+        )
+
+
+def runtime_comparison(baseline: Dict, current: Dict,
+                       ratio: float = RUNTIME_REGRESSION_RATIO,
+                       min_runtime_s: float = RUNTIME_GUARD_FLOOR_S,
+                       ) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark runtime table: baseline, current, budget, verdict.
+
+    Covers every benchmark carrying a ``runtime_s`` on both sides; the
+    budget is ``max(min_runtime_s, ratio * baseline_s)`` (tolerance
+    rationale on the module constants above).  This is the artifact CI
+    uploads so a regression's evidence survives the failed run.
+    """
+    if ratio <= 1.0:
+        raise ValueError("runtime regression ratio must exceed 1.0")
+    base_benchmarks = baseline.get("benchmarks", {})
+    cur_benchmarks = current.get("benchmarks", {})
+    table: Dict[str, Dict[str, float]] = {}
+    for name in sorted(set(base_benchmarks) & set(cur_benchmarks)):
+        base_runtime = base_benchmarks[name].get("runtime_s")
+        cur_runtime = cur_benchmarks[name].get("runtime_s")
+        if base_runtime is None or cur_runtime is None:
+            continue
+        base_runtime = float(base_runtime)
+        cur_runtime = float(cur_runtime)
+        budget = max(min_runtime_s, ratio * base_runtime)
+        table[name] = {
+            "baseline_s": base_runtime,
+            "current_s": cur_runtime,
+            "budget_s": round(budget, 3),
+            "speedup": round(base_runtime / cur_runtime, 3)
+            if cur_runtime > 0 else float("inf"),
+            "ok": cur_runtime <= budget,
+        }
+    return table
+
+
+def runtime_regressions(baseline: Dict, current: Dict,
+                        ratio: float = RUNTIME_REGRESSION_RATIO,
+                        min_runtime_s: float = RUNTIME_GUARD_FLOOR_S,
+                        ) -> List[RuntimeRegression]:
+    """Benchmarks whose runtime broke the budget, worst first."""
+    offenders = [
+        RuntimeRegression(
+            benchmark=name,
+            baseline_s=row["baseline_s"],
+            current_s=row["current_s"],
+            budget_s=row["budget_s"],
+        )
+        for name, row in runtime_comparison(
+            baseline, current, ratio=ratio, min_runtime_s=min_runtime_s
+        ).items()
+        if not row["ok"]
+    ]
+    offenders.sort(key=lambda r: r.ratio, reverse=True)
+    return offenders
+
+
 def golden_violations(results: Dict,
                       goldens: Optional[Dict] = None) -> List[str]:
     """Check a results document against the pinned golden scalars.

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.fleet.abtest import Backend, SyntheticCtrModel
 from repro.quant.int8 import (
+    QuantizedTensor,
     accumulate_int8,
     dequantize_accumulator,
     quantize_rowwise,
@@ -73,12 +74,22 @@ class RequestSlice:
 
 @dataclasses.dataclass
 class PipelineState:
-    """The mutable serving-side artifacts a fault corrupts."""
+    """The mutable serving-side artifacts a fault corrupts.
+
+    The dirty flags are a fast *negative* hint: a set flag tells
+    :meth:`CtrServingPipeline.serve` the artifact diverged without
+    comparing bytes.  Cleanliness itself is always verified by byte
+    comparison against the pipeline's published copy (the arrays are a
+    few KiB), so hand-mutated states with stale flags still serve
+    correctly — the flags only skip the comparison, never the recompute.
+    """
 
     table: np.ndarray  # fp16 (rows, dim)
     weight_values: np.ndarray  # int8 (F, 1)
     activation_fault: Optional[Injection] = None
     accumulator_fault: Optional[Injection] = None
+    table_dirty: bool = False
+    weights_dirty: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,6 +147,10 @@ class CtrServingPipeline:
             np.abs(self.table.astype(np.float64)).max() * EMBED_GUARD_MARGIN
         )
         self.acc_bound = accumulator_bound(self.model.num_features)
+        # Clean-path intermediates for the most recent traffic slice,
+        # keyed by slice identity; ``serve`` reuses them whenever the
+        # state's dirty flags prove a fault could not have changed them.
+        self._clean_cache: Optional[dict] = None
 
     # -- traffic ----------------------------------------------------------
 
@@ -174,14 +189,20 @@ class CtrServingPipeline:
         site = injection.site
         if site is CorruptionSite.MEMORY_WORD:
             if landed_word is not None:
-                target = (
-                    state.table if injection.store == "embedding" else state.weight_values
-                )
-                write_array_word(target, injection.word_index, landed_word)
+                if injection.store == "embedding":
+                    write_array_word(state.table, injection.word_index, landed_word)
+                    state.table_dirty = True
+                else:
+                    write_array_word(
+                        state.weight_values, injection.word_index, landed_word
+                    )
+                    state.weights_dirty = True
         elif site is CorruptionSite.QUANT_WEIGHT:
             flip_int8_bit(state.weight_values, injection.flat_index, injection.bit)
+            state.weights_dirty = True
         elif site is CorruptionSite.EMBEDDING_ROW:
             flip_fp16_bit(state.table, injection.flat_index, injection.bit)
+            state.table_dirty = True
         elif site is CorruptionSite.QUANT_ACTIVATION:
             state.activation_fault = injection
         elif site is CorruptionSite.GEMM_ACCUMULATOR:
@@ -197,23 +218,143 @@ class CtrServingPipeline:
 
     # -- the serving pass -------------------------------------------------
 
+    def _table_clean(self, state: PipelineState) -> bool:
+        """Whether the state's table is byte-equal to the published one.
+
+        The bit-pattern view makes the comparison exact even through
+        NaN-producing corruptions; the table is 2 KiB, so this costs
+        microseconds against the full gather/quantize pass it gates.
+        """
+        if state.table_dirty:
+            return False
+        return bool(
+            np.array_equal(
+                state.table.view(np.uint16), self.table.view(np.uint16)
+            )
+        )
+
+    def _weights_clean(self, state: PipelineState) -> bool:
+        """Whether the state's weight words match the published ones."""
+        if state.weights_dirty:
+            return False
+        return bool(np.array_equal(state.weight_values, self.qweights.values))
+
+    def _row_hash_ok(self, state: PipelineState, table_clean: bool) -> bool:
+        """The background scrubber's verdict on the state's table.
+
+        A byte-clean table trivially matches its publish-time hashes;
+        only diverged tables pay for the full row rehash.
+        """
+        if table_clean:
+            return True
+        return verify_row_hashes(state.table, self.row_hashes) is None
+
     def serve(self, requests: RequestSlice, state: PipelineState) -> ServeResult:
         """Run the quantized path over a slice and every detector's raw
-        check over the same bytes."""
-        gathered = state.table.astype(np.float32)[requests.indices]
-        raw = np.concatenate(
-            [requests.dense.astype(np.float32), gathered], axis=1
-        )
-        finite = np.isfinite(raw)
-        embed_ok = bool(finite.all()) and float(
-            np.abs(gathered[np.isfinite(gathered)]).max(initial=0.0)
-        ) <= self.embed_guard_limit
-        x = np.nan_to_num(raw, nan=FP16_SATURATE, posinf=FP16_SATURATE,
-                          neginf=-FP16_SATURATE)
+        check over the same bytes.
 
-        qx = quantize_rowwise(x)
-        x_checksum = abft_activation_checksum(qx.values)
+        A state whose table is byte-equal to the published copy reuses
+        the gather/quantize/checksum intermediates from the last clean
+        pass over the *same* slice — the arrays are identical bytes
+        either way.  A state whose table diverged takes the incremental
+        path: every stage up to the accumulator is row-local in the
+        request dimension (per-row quantization, per-row accumulation)
+        or an exact integer column sum, so only the requests gathering a
+        diverged table row are recomputed and spliced over copies of the
+        clean artifacts.  Either way each ServeResult field is the same
+        float/bool the monolithic pass produced; only redundant work is
+        skipped.  Mutating faults copy before writing, so cached arrays
+        stay clean.
+        """
+        cache = self._clean_cache
+        table_clean = self._table_clean(state)
+        weights_clean = self._weights_clean(state)
+        cache_hit = cache is not None and cache["requests"] is requests
+        reuse = table_clean and cache_hit
+        changed: Optional[np.ndarray] = None  # incremental request rows
+        if reuse:
+            embed_ok = cache["embed_ok"]
+            qx = cache["qx"]
+            x_checksum = cache["x_checksum"]
+        elif cache_hit and cache["gathered_finite"]:
+            # Incremental path: find the diverged table rows, rebuild
+            # only the requests that gather one of them.
+            row_changed = (
+                state.table.view(np.uint16) != self.table.view(np.uint16)
+            ).any(axis=1)
+            changed = np.nonzero(row_changed[requests.indices])[0]
+            g = state.table.astype(np.float32)[requests.indices[changed]]
+            finite_g = np.isfinite(g)
+            # The gathered abs-max decomposes over rows: clean per-row
+            # maxima for untouched used rows, fresh maxima for diverged
+            # ones.  max() is selection, not arithmetic, so the combined
+            # value is the exact float the full pass produces.
+            m_unchanged = cache["row_absmax"][
+                cache["used_mask"] & ~row_changed
+            ].max(initial=np.float32(0.0))
+            m_changed = np.abs(g[finite_g]).max(initial=np.float32(0.0))
+            embed_ok = bool(
+                cache["dense_finite"] and bool(finite_g.all())
+            ) and float(np.maximum(m_unchanged, m_changed)) <= self.embed_guard_limit
+            if changed.size:
+                x_rows = np.nan_to_num(
+                    np.concatenate(
+                        [requests.dense[changed].astype(np.float32), g], axis=1
+                    ),
+                    nan=FP16_SATURATE, posinf=FP16_SATURATE,
+                    neginf=-FP16_SATURATE,
+                )
+                q_rows = quantize_rowwise(x_rows)
+                values_inc = cache["qx"].values.copy()
+                values_inc[changed] = q_rows.values
+                scales_inc = cache["qx"].scales.copy()
+                scales_inc[changed] = q_rows.scales
+                qx = QuantizedTensor(values=values_inc, scales=scales_inc)
+                # Column checksums are exact int64 sums, so swapping the
+                # diverged rows' contributions is bit-identical to the
+                # full column sum.
+                x_checksum = (
+                    cache["x_checksum"]
+                    - cache["qx"].values[changed].astype(np.int64).sum(axis=0)
+                    + q_rows.values.astype(np.int64).sum(axis=0)
+                )
+            else:
+                qx = cache["qx"]
+                x_checksum = cache["x_checksum"]
+        else:
+            gathered = state.table.astype(np.float32)[requests.indices]
+            raw = np.concatenate(
+                [requests.dense.astype(np.float32), gathered], axis=1
+            )
+            finite = np.isfinite(raw)
+            dense_finite = bool(finite[:, : self.dense_width].all())
+            gathered_finite = bool(finite[:, self.dense_width :].all())
+            embed_ok = (dense_finite and gathered_finite) and float(
+                np.abs(gathered[np.isfinite(gathered)]).max(initial=0.0)
+            ) <= self.embed_guard_limit
+            x = np.nan_to_num(raw, nan=FP16_SATURATE, posinf=FP16_SATURATE,
+                              neginf=-FP16_SATURATE)
+            qx = quantize_rowwise(x)
+            x_checksum = abft_activation_checksum(qx.values)
+            if table_clean:
+                used_mask = np.zeros(self.embed_rows, dtype=bool)
+                used_mask[requests.indices] = True
+                cache = {
+                    "requests": requests,
+                    "embed_ok": embed_ok,
+                    "qx": qx,
+                    "x_checksum": x_checksum,
+                    "dense_finite": dense_finite,
+                    "gathered_finite": gathered_finite,
+                    "used_mask": used_mask,
+                    "row_absmax": np.abs(
+                        self.table.astype(np.float32)
+                    ).max(axis=1),
+                }
+                self._clean_cache = cache
+                reuse = True
         values = qx.values
+        values_clean = True
         fault = state.activation_fault
         if fault is not None:
             rows = recurrent_rows(
@@ -221,13 +362,37 @@ class CtrServingPipeline:
             )
             if rows.any():
                 values = values.copy()
+                values_clean = False
                 lane = fault.flat_index % values.shape[1]
                 values[rows, lane] = (
                     values[rows, lane].view(np.uint8) ^ np.uint8(1 << fault.bit)
                 ).view(np.int8)
 
+        acc_cacheable = reuse and values_clean and weights_clean
+        acc_incremental = (
+            changed is not None
+            and values_clean
+            and weights_clean
+            and "acc" in cache
+        )
         try:
-            acc = accumulate_int8(values, state.weight_values)
+            if acc_cacheable and "acc" in cache:
+                acc = cache["acc"]
+            elif acc_incremental:
+                # Row-local accumulation: untouched rows keep their
+                # clean accumulator (already range-checked); diverged
+                # rows re-accumulate and re-check.
+                if changed.size:
+                    acc = cache["acc"].copy()
+                    acc[changed] = accumulate_int8(
+                        values[changed], state.weight_values
+                    )
+                else:
+                    acc = cache["acc"]
+            else:
+                acc = accumulate_int8(values, state.weight_values)
+                if acc_cacheable:
+                    cache["acc"] = acc
             overflowed = False
         except OverflowError:
             # The wide-accumulate assertion fired: loud, not silent.
@@ -235,13 +400,26 @@ class CtrServingPipeline:
                 predictions=np.full(requests.num_requests, 0.5),
                 embed_guard_ok=embed_ok, abft_col_ok=False, abft_row_ok=False,
                 acc_range_ok=False, logit_guard_ok=False,
-                row_hash_ok=verify_row_hashes(state.table, self.row_hashes) is None,
+                row_hash_ok=self._row_hash_ok(state, table_clean),
                 overflowed=True,
             )
 
         # The row check folds the accumulator the hardware actually holds,
         # so apply any accumulator fault before either identity is tested.
-        row_lhs = values.astype(np.int64) @ self.weight_checksum
+        if reuse and values_clean and "row_lhs" in cache:
+            row_lhs = cache["row_lhs"]
+        elif changed is not None and values_clean and "row_lhs" in cache:
+            if changed.size:
+                row_lhs = cache["row_lhs"].copy()
+                row_lhs[changed] = (
+                    values[changed].astype(np.int64) @ self.weight_checksum
+                )
+            else:
+                row_lhs = cache["row_lhs"]
+        else:
+            row_lhs = values.astype(np.int64) @ self.weight_checksum
+            if reuse and values_clean:
+                cache["row_lhs"] = row_lhs
         fault = state.accumulator_fault
         if fault is not None:
             rows = recurrent_rows(
@@ -270,7 +448,7 @@ class CtrServingPipeline:
             abft_row_ok=abft_row_ok,
             acc_range_ok=acc_range_ok,
             logit_guard_ok=logit_ok,
-            row_hash_ok=verify_row_hashes(state.table, self.row_hashes) is None,
+            row_hash_ok=self._row_hash_ok(state, table_clean),
             overflowed=overflowed,
         )
 

@@ -15,8 +15,12 @@ execution times, the gains coming purely from scheduling.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+import numpy as np
+
+from repro.fastsim.engine import EventEngine
+from repro.fastsim.vectorize import sorted_percentile
 from repro.obs.metrics import MetricsRegistry, active
 from repro.serving.batcher import Batch
 
@@ -112,11 +116,17 @@ class ScheduleResult:
 
     def latency_percentile(self, percentile: float) -> float:
         """A latency percentile over requests (e.g. 99 for P99)."""
-        latencies = sorted(self.request_latencies())
-        if not latencies:
-            return 0.0
-        index = min(len(latencies) - 1, int(round(percentile / 100 * (len(latencies) - 1))))
-        return latencies[index]
+        latencies = np.sort(
+            np.fromiter(
+                (
+                    completion.merge_done_s - request.arrival_s
+                    for completion in self.completions
+                    for request in completion.batch.requests
+                ),
+                dtype=np.float64,
+            )
+        )
+        return sorted_percentile(latencies, percentile)
 
     @property
     def throughput_samples_per_s(self) -> float:
@@ -129,6 +139,7 @@ def schedule_batches(
     batches: Sequence[Batch],
     profile: ModelJobProfile,
     registry: Optional[MetricsRegistry] = None,
+    engine: str = "fast",
 ) -> ScheduleResult:
     """FIFO job scheduling of a batch stream on a single device.
 
@@ -139,75 +150,109 @@ def schedule_batches(
     a later batch's remotes ahead of an earlier batch's merge exactly as
     the paper's traces showed.
 
+    ``engine="fast"`` (the default) runs a ready-heap port on the
+    :class:`~repro.fastsim.engine.EventEngine` — O(n log n) instead of
+    the legacy O(n^2) pending-list scan — and is byte-identical to
+    ``engine="reference"`` (the original loop, kept verbatim in
+    :mod:`repro.fastsim.reference`): the legacy dispatch rule picks the
+    runnable job minimizing (current enqueue time, position in the
+    initial (enqueue, remote-before-merge) stable sort), which is
+    exactly the ready-heap key; busy time accumulates in the same
+    dispatch order, so every float matches.
+
     An attached registry sees the runnable-queue depth at every dispatch
     plus job counts and final utilization (``serving.scheduler.*``).
     """
+    if engine == "reference":
+        from repro.fastsim.reference import schedule_batches_reference
+
+        return schedule_batches_reference(batches, profile, registry)
+    if engine != "fast":
+        raise ValueError(f"unknown scheduler engine {engine!r}")
     obs = active(registry)
+    observe_depth = obs.enabled
     runnable_depth = obs.histogram("serving.scheduler.runnable_depth")
     jobs: List[_Job] = []
-    merge_jobs: Dict[int, _Job] = {}
+    merge_jobs: List[_Job] = []
+    remote_duration = profile.remote_time_s + profile.dispatch_overhead_s
+    merge_duration = profile.merge_time_s + profile.dispatch_overhead_s
+    remote_count = profile.remote_jobs_per_batch
     for index, batch in enumerate(batches):
-        for _ in range(profile.remote_jobs_per_batch):
+        for _ in range(remote_count):
             jobs.append(
                 _Job(
                     batch_index=index,
                     kind="remote",
-                    duration_s=profile.remote_time_s + profile.dispatch_overhead_s,
+                    duration_s=remote_duration,
                     enqueue_s=batch.formed_at_s,
                 )
             )
         merge = _Job(
             batch_index=index,
             kind="merge",
-            duration_s=profile.merge_time_s + profile.dispatch_overhead_s,
+            duration_s=merge_duration,
             enqueue_s=batch.formed_at_s,
-            remaining_deps=profile.remote_jobs_per_batch,
+            remaining_deps=remote_count,
         )
         jobs.append(merge)
-        merge_jobs[index] = merge
-    # Event-driven single-server simulation.
-    pending = sorted(jobs, key=lambda j: (j.enqueue_s, 0 if j.kind == "remote" else 1))
+        merge_jobs.append(merge)
+    # The legacy tie-break: position in the stable (enqueue, remote-
+    # before-merge) sort of the pending list.  Merges re-enqueue later
+    # but keep their initial position as the tie rank.
+    order = sorted(
+        range(len(jobs)),
+        key=lambda i: (jobs[i].enqueue_s, 0 if jobs[i].kind == "remote" else 1),
+    )
+    rank = [0] * len(jobs)
+    for position, job_index in enumerate(order):
+        rank[job_index] = position
+    ready = EventEngine()
+    for job_index, job in enumerate(jobs):
+        if job.remaining_deps == 0:
+            ready.schedule(job.enqueue_s, job, tiebreak=rank[job_index])
     time = 0.0
     busy = 0.0
     done = 0
-    while done < len(jobs):
-        runnable = [
-            j
-            for j in pending
-            if j.finish_s < 0 and j.enqueue_s <= time and j.remaining_deps == 0
-        ]
-        if not runnable:
-            # Advance to the next enqueue event.
-            future = [j.enqueue_s for j in pending if j.finish_s < 0 and j.remaining_deps == 0]
-            if not future:
-                raise RuntimeError("scheduler deadlock: jobs with unresolved deps")
-            time = max(time, min(future))
-            continue
-        # FIFO by (current) queue-entry time.
-        runnable_depth.observe(float(len(runnable)))
-        job = min(runnable, key=lambda j: j.enqueue_s)
+    remote_done = [0.0] * len(merge_jobs)
+    while ready:
+        enqueue_s, _, job = ready.pop()
+        if enqueue_s > time:
+            time = enqueue_s
+        if observe_depth:
+            # The depth the legacy scan would have reported: every
+            # ready job already enqueued at this dispatch instant,
+            # including the one being dispatched.
+            depth = 1 + ready.count_due(time)
+            runnable_depth.observe(float(depth))
         job.start_s = time
         job.finish_s = time + job.duration_s
         busy += job.duration_s
         time = job.finish_s
         done += 1
         if job.kind == "remote":
-            merge = merge_jobs[job.batch_index]
+            batch_index = job.batch_index
+            if job.finish_s > remote_done[batch_index]:
+                remote_done[batch_index] = job.finish_s
+            merge = merge_jobs[batch_index]
             merge.remaining_deps -= 1
             if merge.remaining_deps == 0:
                 # The merge is (re)submitted after a host round trip; its
                 # new FIFO position is behind any remote already queued —
                 # the crux of the remote-remote-merge-merge pattern.
                 merge.enqueue_s = time + profile.merge_submission_delay_s
+                ready.schedule(
+                    merge.enqueue_s,
+                    merge,
+                    tiebreak=rank[(batch_index + 1) * (remote_count + 1) - 1],
+                )
+    if done < len(jobs):
+        raise RuntimeError("scheduler deadlock: jobs with unresolved deps")
     completions = []
     for index, batch in enumerate(batches):
-        remotes = [
-            j for j in jobs if j.batch_index == index and j.kind == "remote"
-        ]
         completions.append(
             BatchCompletion(
                 batch=batch,
-                remote_done_s=max(j.finish_s for j in remotes),
+                remote_done_s=remote_done[index],
                 merge_done_s=merge_jobs[index].finish_s,
             )
         )

@@ -15,6 +15,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.fastsim.vectorize import seeded_poisson_arrivals
+
 
 @dataclasses.dataclass(frozen=True)
 class Request:
@@ -75,17 +77,17 @@ def poisson_stream(
     samples_jitter: float = 0.3,
     seed: int = 0,
 ) -> List[Request]:
-    """Poisson arrivals with log-normal candidate-count jitter."""
+    """Poisson arrivals with log-normal candidate-count jitter.
+
+    Arrival times come from the vectorized
+    :func:`repro.fastsim.vectorize.seeded_poisson_arrivals`, which is
+    byte-identical (values and generator state) to the scalar
+    ``t += rng.exponential(1/rate)`` loop this replaced.
+    """
     if rate_per_s <= 0 or duration_s <= 0:
         raise ValueError("rate and duration must be positive")
     rng = np.random.default_rng(seed)
-    arrivals = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / rate_per_s)
-        if t >= duration_s:
-            break
-        arrivals.append(t)
+    arrivals = seeded_poisson_arrivals(rng, rate_per_s, duration_s)
     sizes = np.maximum(
         1,
         np.round(

@@ -6,6 +6,8 @@ import pytest
 
 from repro.cli import main
 from repro.obs.bench import (
+    RUNTIME_GUARD_FLOOR_S,
+    RUNTIME_REGRESSION_RATIO,
     aggregate,
     diff_results,
     dump_json,
@@ -13,6 +15,8 @@ from repro.obs.bench import (
     load_results,
     load_scalar_documents,
     normalize_text,
+    runtime_comparison,
+    runtime_regressions,
     write_results,
     write_scalars,
 )
@@ -133,6 +137,65 @@ class TestDiff:
             diff_results(_results(), _results(), rel_tol=-0.1)
 
 
+def _timed(**runtimes):
+    return {
+        "schema": 1,
+        "benchmarks": {
+            name: {"scalars": {"x": 1.0}, "runtime_s": runtime}
+            for name, runtime in runtimes.items()
+        },
+    }
+
+
+class TestRuntimeGuard:
+    def test_within_budget_is_clean(self):
+        # 1.4x on a multi-second benchmark is inside the 1.5x budget.
+        base, cur = _timed(a=10.0, b=2.0), _timed(a=14.0, b=2.1)
+        assert runtime_regressions(base, cur) == []
+        table = runtime_comparison(base, cur)
+        assert table["a"]["ok"] and table["b"]["ok"]
+        assert table["a"]["budget_s"] == pytest.approx(15.0)
+
+    def test_slowdown_past_ratio_fires(self):
+        offenders = runtime_regressions(_timed(a=10.0), _timed(a=16.0))
+        assert len(offenders) == 1
+        assert offenders[0].benchmark == "a"
+        assert offenders[0].ratio == pytest.approx(1.6)
+        assert "re-baseline" in str(offenders[0])
+
+    def test_sub_second_benchmarks_get_absolute_floor(self):
+        # 2.7x on a 0.3 s baseline stays under the 1 s floor: noise,
+        # not a regression.  Past the floor the guard fires.
+        assert RUNTIME_GUARD_FLOOR_S == 1.0
+        assert runtime_regressions(_timed(a=0.3), _timed(a=0.8)) == []
+        offenders = runtime_regressions(_timed(a=0.3), _timed(a=1.1))
+        assert [r.benchmark for r in offenders] == ["a"]
+
+    def test_worst_offender_first(self):
+        offenders = runtime_regressions(
+            _timed(a=10.0, b=10.0), _timed(a=20.0, b=40.0)
+        )
+        assert [r.benchmark for r in offenders] == ["b", "a"]
+
+    def test_missing_runtime_skipped(self):
+        # --no-run snapshots carry no runtime_s; nothing to guard.
+        base = _timed(a=10.0)
+        cur = _results(a={"x": 1.0})
+        assert runtime_comparison(base, cur) == {}
+        assert runtime_regressions(base, cur) == []
+
+    def test_ratio_at_most_one_rejected(self):
+        with pytest.raises(ValueError):
+            runtime_comparison(_timed(), _timed(), ratio=1.0)
+
+    def test_speedups_recorded_not_failed(self):
+        # The fast-engine direction: large speedups are the point.
+        assert RUNTIME_REGRESSION_RATIO == 1.5
+        table = runtime_comparison(_timed(a=30.0), _timed(a=3.0))
+        assert table["a"]["ok"]
+        assert table["a"]["speedup"] == pytest.approx(10.0)
+
+
 class TestGoldenViolations:
     GOLDENS = {"a": {"x": (100.0, 0.05)}}
 
@@ -190,6 +253,36 @@ class TestBenchCli:
         assert "REGRESSION" in capsys.readouterr().out
         # The new snapshot still gets written for inspection.
         assert load_results(out)["benchmarks"]["demo"]["scalars"]["x"] == 1.0
+
+    def test_runtime_regression_fails_run(self, tmp_path, capsys):
+        # A benchmark 1.5x+ over its baseline runtime (and past the 1 s
+        # noise floor) must fail the run with the re-baseline hint, and
+        # the runtime-comparison artifact must land for CI to upload.
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "test_demo.py").write_text(
+            "import time\n"
+            "from repro.obs.bench import write_scalars\n"
+            "def test_demo():\n"
+            "    time.sleep(1.1)\n"
+            f"    write_scalars({str(bench_dir / 'out')!r}, "
+            "'demo', {'x': 1.0})\n"
+        )
+        out = tmp_path / "BENCH_results.json"
+        baseline = _timed(demo=0.2)
+        baseline["benchmarks"]["demo"]["scalars"] = {"x": 1.0}
+        write_results(baseline, tmp_path / "baseline.json")
+        assert main([
+            "bench", "--dir", str(bench_dir), "--out", str(out),
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]) == 1
+        captured = capsys.readouterr().out
+        assert "RUNTIME REGRESSION" in captured
+        assert "re-baseline" in captured
+        artifact = json.loads(
+            (bench_dir / "out" / "runtime_comparison.json").read_text()
+        )
+        assert artifact["demo"]["ok"] is False
 
     def test_missing_dir_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

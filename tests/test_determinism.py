@@ -236,3 +236,57 @@ def test_module_level_rng_not_disturbed(seed):
     deadlock_incidence(seed=0)
     after2 = rng.standard_normal(2).tolist()
     assert before[2:] == after2
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fastsim_entry_points_leave_global_rng_alone(seed):
+    """The PR-8 fast engines inherit the same audit: a fast-path
+    scheduling run, a cluster run on each queue backend, and a
+    trial_map sweep must not touch numpy's global state or the stdlib
+    ``random`` module (no ad-hoc ``random.Random`` crept in)."""
+    import random as stdlib_random
+
+    from repro.cluster import ClusterConfig, default_service_model
+    from repro.cluster.simulator import run_cluster
+    from repro.fastsim import trial_map
+    from repro.serving.batcher import CoalescingConfig, coalesce
+    from repro.serving.scheduler import ModelJobProfile, schedule_batches
+    from repro.serving.workload import poisson_stream
+
+    rng = np.random.default_rng(seed)
+    before = rng.standard_normal(4).tolist()
+    np.random.seed(seed)
+    global_before = np.random.random(2).tolist()
+    np.random.seed(seed)
+    _ = np.random.random(1)
+    stdlib_state = stdlib_random.getstate()
+
+    rng = np.random.default_rng(seed)
+    _ = rng.standard_normal(2)
+    requests = poisson_stream(
+        rate_per_s=40.0, duration_s=2.0, samples_per_request=16, seed=0
+    )
+    batches = coalesce(
+        requests,
+        CoalescingConfig(
+            window_s=0.01, max_parallel_windows=4, max_batch_samples=256
+        ),
+    )
+    schedule_batches(
+        batches,
+        ModelJobProfile(
+            remote_time_s=0.002, merge_time_s=0.004, remote_jobs_per_batch=2
+        ),
+        engine="fast",
+    )
+    service = default_service_model()
+    for engine in ("fast", "calendar"):
+        run_cluster(
+            ClusterConfig(replicas=3, seed=0), service, requests,
+            engine=engine,
+        )
+    assert trial_map(abs, [-1, 2, -3]) == [1, 2, 3]
+
+    assert rng.standard_normal(2).tolist() == before[2:]
+    assert np.random.random(1).tolist() == global_before[1:]
+    assert stdlib_random.getstate() == stdlib_state
