@@ -20,6 +20,7 @@ from repro.autotune.kernel_tuner import (
     compare_tuners,
     exhaustive_tune,
     measure_variant,
+    surrogate_tune,
 )
 from repro.autotune.placement import (
     PlacementDecision,
@@ -55,6 +56,7 @@ __all__ = [
     "measure_variant",
     "plan_sharding",
     "required_shards",
+    "surrogate_tune",
     "tune_batch_size",
     "tune_coalescing",
     "tune_placement",

@@ -16,15 +16,20 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.specs import ChipSpec
 from repro.fastsim.memo import KernelLatencyMemo
 from repro.kernels.gemm import GemmVariant, default_variants, estimate_gemm
+from repro.obs.metrics import MetricsRegistry, active
+from repro.surrogate.verify import verified_argmin
 from repro.tensors.dtypes import DType
 from repro.tensors.tensor import GemmShape
+
+if TYPE_CHECKING:
+    from repro.surrogate.model import GemmSurrogate
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +92,60 @@ def exhaustive_tune(
     return TuningResult(
         shape=shape, variant=best_variant, kernel_time_s=best_time,
         evaluations=len(variants),
+    )
+
+
+def surrogate_tune(
+    shape: GemmShape,
+    chip: ChipSpec,
+    surrogate: "GemmSurrogate",
+    variants: Optional[List[GemmVariant]] = None,
+    dtype: DType = DType.FP16,
+    top_k: int = 16,
+    memo: Optional[KernelLatencyMemo] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> TuningResult:
+    """Verified surrogate tuning: predict all, exact-measure the top-k.
+
+    The surrogate's factorized sweep ranks the whole variant catalog at
+    ~100x less than one exact evaluation *per variant*; the exact cost
+    model then re-measures only the predicted ``top_k`` and the argmin
+    over those exact values wins (soundness:
+    :func:`repro.surrogate.verify.verified_argmin` — the returned
+    ``kernel_time_s`` is always an exact evaluation, never a
+    prediction).  ``evaluations`` counts exact cost-model invocations,
+    matching the other tuners' work metric; surrogate predictions are
+    tallied separately under ``surrogate.kernel.*`` on an attached
+    registry.
+    """
+    if surrogate.chip is not chip:
+        raise ValueError("surrogate is bound to a different chip instance")
+    if surrogate.dtype is not dtype:
+        raise ValueError(
+            f"surrogate was trained for {surrogate.dtype}, not {dtype}"
+        )
+    variants = variants if variants is not None else default_variants()
+    if not variants:
+        raise ValueError("need at least one variant")
+    ranking = surrogate.rank_variants((shape.m, shape.k, shape.n), variants)
+    result = verified_argmin(
+        ranking,
+        lambda i: measure_variant(shape, variants[i], chip, dtype, memo=memo),
+        top_k=min(top_k, len(variants)),
+    )
+    obs = active(registry)
+    if obs.enabled:
+        obs.counter("surrogate.kernel.predictions").inc(
+            result.surrogate_evaluations
+        )
+        obs.counter("surrogate.kernel.exact_evals").inc(
+            result.exact_evaluations
+        )
+    return TuningResult(
+        shape=shape,
+        variant=variants[result.best_index],
+        kernel_time_s=result.best_value,
+        evaluations=result.exact_evaluations,
     )
 
 

@@ -23,6 +23,9 @@ Commands:
   capacity study (hosts per region to serve N million users at the P99
   SLO through a full region outage), probe-driven failover with
   capacity spill versus the undefended baseline
+* ``surrogate``  — train the learned performance surrogates and run the
+  exact-verified searches they guide: verified kernel tuning, guided
+  capacity planning, and the guided power-limited sweep
 * ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
   and fail on regressions against the previous snapshot or the pinned
   golden values
@@ -60,6 +63,7 @@ _SMOKE_BENCHMARKS = (
     "test_sec52_sec53_power.py",
     "test_sec5_chaos.py",
     "test_sec5_fleet.py",
+    "test_sec41_surrogate.py",
 )
 
 
@@ -438,6 +442,149 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+_SURROGATE_QUERY_SHAPES = (
+    (700, 1700, 800),
+    (3000, 600, 2000),
+    (512, 26592, 2048),
+    (150, 300, 150),
+    (4096, 2048, 1024),
+)
+
+
+def cmd_surrogate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.autotune import exhaustive_tune, measure_variant, surrogate_tune
+    from repro.kernels.gemm import default_variants
+    from repro.obs.metrics import MetricsRegistry
+    from repro.surrogate import train_gemm_surrogate
+    from repro.tensors.tensor import GemmShape
+
+    chip = mtia2i_spec()
+    samples = 1500 if args.smoke else args.samples
+    print(f"training GEMM surrogate: {samples} sampled (shape, variant) "
+          f"points, seed {args.seed}")
+    started = time.perf_counter()
+    surrogate, reports = train_gemm_surrogate(
+        chip, n_samples=samples, seed=args.seed,
+        include_energy=not args.smoke,
+    )
+    train_s = time.perf_counter() - started
+    print(f"{'target':>8}  {'rows':>6}  {'MAPE':>7}  {'P95 rel':>8}  "
+          f"{'max rel':>8}")
+    for target, report in sorted(reports.items()):
+        print(f"{target:>8}  {report.n_train + report.n_holdout:6d}  "
+              f"{report.mape_holdout:7.2%}  "
+              f"{report.p95_rel_error_holdout:8.2%}  "
+              f"{report.max_rel_error_holdout:8.2%}")
+    print(f"trained in {train_s:.2f} s")
+
+    variants = default_variants()
+    registry = MetricsRegistry()
+    print(f"\nverified tuning, {len(variants)} variants, "
+          f"top-{args.top_k} exact re-measure:")
+    matches = 0
+    for mkn in _SURROGATE_QUERY_SHAPES:
+        shape = GemmShape(*mkn)
+        gold = exhaustive_tune(shape, chip, variants=variants)
+        result = surrogate_tune(
+            shape, chip, surrogate, variants=variants,
+            top_k=args.top_k, registry=registry,
+        )
+        match = abs(result.kernel_time_s - gold.kernel_time_s) <= (
+            1e-12 * gold.kernel_time_s
+        )
+        matches += match
+        print(f"  {str(mkn):>20}  exact {gold.kernel_time_s * 1e6:8.2f} us  "
+              f"verified {result.kernel_time_s * 1e6:8.2f} us  "
+              f"{'match' if match else 'MISS'}  "
+              f"({result.evaluations} vs {gold.evaluations} exact evals)")
+    print(f"argmin recovered on {matches}/{len(_SURROGATE_QUERY_SHAPES)} "
+          f"query shapes; {len(variants) / args.top_k:.0f}x fewer exact "
+          f"evaluations per shape")
+
+    if not args.smoke:
+        shapes = [GemmShape(*mkn) for mkn in _SURROGATE_QUERY_SHAPES]
+        started = time.perf_counter()
+        for shape in shapes:
+            for variant in variants:
+                measure_variant(shape, variant, chip)
+        exact_s = time.perf_counter() - started
+        mkns = [(s.m, s.k, s.n) for s in shapes]
+        surrogate.predict_time_grid(mkns, variants)  # warm variant cache
+        fast_s = float("inf")
+        for _ in range(5):
+            started = time.perf_counter()
+            surrogate.predict_time_grid(mkns, variants)
+            fast_s = min(fast_s, time.perf_counter() - started)
+        points = len(shapes) * len(variants)
+        print(f"\nper-point cost over the {points}-point sweep: exact "
+              f"{exact_s / points * 1e6:.2f} us, surrogate "
+              f"{fast_s / points * 1e9:.1f} ns "
+              f"({exact_s / fast_s:.0f}x)")
+
+    if args.sweep:
+        from repro.cluster import default_service_model
+        from repro.cluster.capacity import replicas_needed
+        from repro.power.cluster_link import power_limited_capacity_sweep
+        from repro.surrogate import (
+            train_capacity_surrogate,
+            train_power_surrogate,
+        )
+
+        service = default_service_model()
+        print("\nguided capacity planning (po2, exact answers, fewer "
+              "simulations):")
+        cap_surrogate, cap_report = train_capacity_surrogate(
+            service, qps_points=(300.0, 700.0, 1400.0),
+            policies=("round_robin", "po2"), duration_s=8.0,
+            max_replicas=48, seed=args.seed,
+        )
+        print(f"  trained on seeded exact probes, "
+              f"MAPE {cap_report.mape_train:.2%}")
+        for qps in (500.0, 1100.0):
+            registry = MetricsRegistry()
+            guided = replicas_needed(
+                "po2", qps, service, duration_s=8.0, max_replicas=48,
+                seed=args.seed, use_surrogate=True,
+                surrogate=cap_surrogate, registry=registry,
+            )
+            exact = replicas_needed(
+                "po2", qps, service, duration_s=8.0, max_replicas=48,
+                seed=args.seed,
+            )
+            counters = registry.snapshot()["counters"]
+            print(f"  {qps:7.0f} qps -> {guided.replicas} replicas "
+                  f"({'identical' if guided == exact else 'DIFFERENT'}); "
+                  f"{counters['surrogate.capacity.exact_runs']} vs "
+                  f"{counters['surrogate.capacity.linear_scan_runs']} "
+                  f"cluster simulations")
+
+        print("\nguided power-limited capacity sweep:")
+        power_surrogate, power_report = train_power_surrogate(
+            service, probe_budgets_w=(1100.0, 1800.0, 2600.0),
+            replicas=8, duration_s=10.0, seed=args.seed,
+        )
+        budgets = (1200.0, 1400.0, 1600.0, 2000.0, 2400.0)
+        registry = MetricsRegistry()
+        guided_sweep = power_limited_capacity_sweep(
+            service, budgets, replicas=8, duration_s=10.0, seed=args.seed,
+            use_surrogate=True, surrogate=power_surrogate,
+            registry=registry,
+        )
+        exact_sweep = power_limited_capacity_sweep(
+            service, budgets, replicas=8, duration_s=10.0, seed=args.seed,
+        )
+        counters = registry.snapshot()["counters"]
+        print(f"  {'identical points' if guided_sweep == exact_sweep else 'DIFFERENT POINTS'}; "
+              f"{counters['surrogate.power.exact_runs']} vs "
+              f"{counters['surrogate.power.linear_scan_runs']} cluster "
+              f"simulations across {len(budgets)} budgets")
+        for line in guided_sweep.table().splitlines():
+            print(f"  {line}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import pathlib
@@ -663,6 +810,26 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--detail", action="store_true",
                        help="print per-region detail at the verdict size")
     fleet.set_defaults(func=cmd_fleet)
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="train the learned performance surrogates and run "
+             "exact-verified tuning/capacity/power searches",
+    )
+    surrogate.add_argument("--smoke", action="store_true",
+                           help="small fixed-size training run for CI")
+    surrogate.add_argument("--train", action="store_true",
+                           help="full training run with error bands and "
+                                "the exact-vs-surrogate speedup probe")
+    surrogate.add_argument("--sweep", action="store_true",
+                           help="also run the guided capacity and power "
+                                "sweeps against their exact baselines")
+    surrogate.add_argument("--samples", type=int, default=6000,
+                           help="training rows for the GEMM surrogate")
+    surrogate.add_argument("--top-k", type=int, default=16,
+                           help="exact re-measurements per verified tune")
+    surrogate.add_argument("--seed", type=int, default=0)
+    surrogate.set_defaults(func=cmd_surrogate)
 
     bench = sub.add_parser(
         "bench",

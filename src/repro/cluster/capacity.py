@@ -112,6 +112,9 @@ def replicas_needed(
     max_replicas: int = 96,
     seed: int = 0,
     admission: Optional[AdmissionConfig] = None,
+    use_surrogate: bool = False,
+    surrogate=None,
+    registry=None,
 ) -> CapacityPoint:
     """Smallest replica count holding the SLO with zero shedding.
 
@@ -123,9 +126,23 @@ def replicas_needed(
     the run is skipped.  A run that finishes without loss is identical
     with or without the flag, so the returned point (and its report
     statistics) match the exhaustive search byte for byte.
+
+    ``use_surrogate=True`` (with a fitted capacity
+    :class:`~repro.surrogate.model.SurrogateModel`, see
+    :func:`repro.surrogate.dataset.train_capacity_surrogate`) keeps the
+    answer exact but replaces the scan's *starting point*: the surrogate
+    predicts the replica count and
+    :func:`repro.surrogate.verify.verified_min_feasible` certifies the
+    boundary with exact seeded runs from both sides.  Under the same
+    monotone-feasibility assumption the linear scan already relies on,
+    the returned point is identical — only the number of cluster
+    simulations spent changes (tallied under ``surrogate.capacity.*``
+    on an attached registry).
     """
     if offered_qps <= 0:
         raise ValueError("offered QPS must be positive")
+    if use_surrogate and surrogate is None:
+        raise ValueError("use_surrogate=True needs a fitted surrogate")
     requests = _stream(offered_qps, duration_s, seed)
     floor = max(1, math.ceil(offered_qps * service.mean_service_s))
 
@@ -139,22 +156,59 @@ def replicas_needed(
             seed=seed,
         )
 
-    for replicas in range(floor, max_replicas + 1):
-        report = run_cluster(
-            _config(replicas), service, requests, locality=locality,
-            fail_fast=True,
+    def _point(replicas: int, report: ClusterReport) -> CapacityPoint:
+        return CapacityPoint(
+            policy=policy,
+            offered_qps=offered_qps,
+            replicas=replicas,
+            p99_latency_s=report.p99_latency_s,
+            utilization=report.utilization,
+            shed_fraction=report.shed_fraction,
+            cross_host_fraction=report.cross_host_fraction,
+            feasible=True,
         )
-        if report.meets_slo(p99_slo_s):
-            return CapacityPoint(
-                policy=policy,
-                offered_qps=offered_qps,
-                replicas=replicas,
-                p99_latency_s=report.p99_latency_s,
-                utilization=report.utilization,
-                shed_fraction=report.shed_fraction,
-                cross_host_fraction=report.cross_host_fraction,
-                feasible=True,
+
+    if use_surrogate:
+        from repro.obs.metrics import active
+        from repro.surrogate.features import capacity_feature_row
+        from repro.surrogate.verify import verified_min_feasible
+
+        row = capacity_feature_row(
+            policy, offered_qps, service.mean_service_s, p99_slo_s,
+            service.jitter_sigma,
+        )
+        guess = int(round(float(surrogate.predict(row[None, :])[0])))
+        probed: Dict[int, ClusterReport] = {}
+
+        def _feasible(replicas: int) -> bool:
+            report = run_cluster(
+                _config(replicas), service, requests, locality=locality,
+                fail_fast=True,
             )
+            probed[replicas] = report
+            return report.meets_slo(p99_slo_s)
+
+        answer, exact_calls = verified_min_feasible(
+            guess, floor, max_replicas, _feasible
+        )
+        obs = active(registry)
+        if obs.enabled:
+            obs.counter("surrogate.capacity.predictions").inc()
+            obs.counter("surrogate.capacity.exact_runs").inc(exact_calls)
+            obs.counter("surrogate.capacity.linear_scan_runs").inc(
+                ((answer if answer is not None else max_replicas) - floor)
+                + 1
+            )
+        if answer is not None:
+            return _point(answer, probed[answer])
+    else:
+        for replicas in range(floor, max_replicas + 1):
+            report = run_cluster(
+                _config(replicas), service, requests, locality=locality,
+                fail_fast=True,
+            )
+            if report.meets_slo(p99_slo_s):
+                return _point(replicas, report)
     # No swept size held the SLO: re-run the ceiling exhaustively so the
     # reported statistics describe the full run, not a truncated probe.
     report = run_cluster(
@@ -174,12 +228,15 @@ def replicas_needed(
 
 def _sweep_cell(args: Tuple) -> CapacityPoint:
     """One (policy, qps) cell — module-level so it pickles for
-    :func:`~repro.fastsim.trials.trial_map` workers."""
-    policy, qps, service, p99_slo_s, locality, duration_s, seed = args
+    :func:`~repro.fastsim.trials.trial_map` workers.  The 8th slot is
+    a fitted capacity surrogate (or None): the pure-numpy surrogate
+    pickles, so guided cells fan out across processes like exact ones."""
+    policy, qps, service, p99_slo_s, locality, duration_s, seed, surrogate = args
     return replicas_needed(
         policy, qps, service,
         p99_slo_s=p99_slo_s, locality=locality,
         duration_s=duration_s, seed=seed,
+        use_surrogate=surrogate is not None, surrogate=surrogate,
     )
 
 
@@ -192,6 +249,8 @@ def capacity_sweep(
     duration_s: float = 40.0,
     seed: int = 0,
     processes: Optional[int] = None,
+    use_surrogate: bool = False,
+    surrogate=None,
 ) -> CapacitySweep:
     """The full hosts-vs-QPS grid, one seeded run per cell step.
 
@@ -201,9 +260,16 @@ def capacity_sweep(
     ``processes=N`` fans cells across worker processes with results
     returned in submission order — identical points either way, because
     each cell's randomness is a pure function of its arguments.
+
+    ``use_surrogate=True`` forwards a fitted capacity surrogate into
+    every cell (see :func:`replicas_needed`): the grid's points are
+    unchanged, only the simulations-per-cell count drops.
     """
+    if use_surrogate and surrogate is None:
+        raise ValueError("use_surrogate=True needs a fitted surrogate")
     cells = [
-        (policy, qps, service, p99_slo_s, locality, duration_s, seed)
+        (policy, qps, service, p99_slo_s, locality, duration_s, seed,
+         surrogate if use_surrogate else None)
         for policy in policies
         for qps in qps_points
     ]

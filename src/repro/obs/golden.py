@@ -63,6 +63,17 @@ GOLDEN_SCALARS: Dict[str, Dict[str, Tuple[float, float]]] = {
         "mean_quality_gap": (0.0, 1.0),
         "best_fill_fraction": (0.8869534201826197, 0.02),
     },
+    "sec41_surrogate": {
+        # Learned surrogate over the exact kernel cost model: sub-1%
+        # holdout MAPE (band allows BLAS reduction-order drift), the
+        # verified top-16 recovering the exhaustive argmin on every
+        # section 4.1 query shape, and 1152/16 = 72x fewer exact
+        # evaluations per tuned shape.  The >=100x wall-clock speedup
+        # is asserted inside the benchmark, not pinned here.
+        "holdout_mape_latency": (0.004165515788359837, 0.5),
+        "verified_argmin_match": (1.0, 1e-9),
+        "eval_reduction": (72.0, 1e-9),
+    },
     "fig5_tbe_consolidation": {
         # Paper figure 5: consolidation buys ~13 ms of P99.
         "p99_improvement_s": (0.013298990385909093, 0.05),

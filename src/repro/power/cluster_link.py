@@ -176,7 +176,22 @@ class PowerLimitedSweep:
         }
 
 
-def _max_qps_at_slo(
+def _step_fractions(qps_step_fraction: float) -> Tuple[float, ...]:
+    """The exact probe ladder ``max_qps_at_slo`` walks, highest first.
+
+    Built by the same repeated subtraction the scan performs, so the
+    float values (and therefore every derived QPS) are bit-identical
+    between the scan and the surrogate-guided search over this ladder.
+    """
+    fractions = []
+    fraction = 1.0
+    while fraction > qps_step_fraction / 2:
+        fractions.append(fraction)
+        fraction -= qps_step_fraction
+    return tuple(fractions)
+
+
+def max_qps_at_slo(
     service: ServiceModel,
     replicas: int,
     p99_slo_s: float,
@@ -192,15 +207,72 @@ def _max_qps_at_slo(
     """
     ceiling = replicas * service.capacity_per_replica()
     config = ClusterConfig(replicas=replicas, num_hosts=replicas, seed=seed)
-    fraction = 1.0
-    while fraction > qps_step_fraction / 2:
+    for fraction in _step_fractions(qps_step_fraction):
         qps = ceiling * fraction
         requests = poisson_stream(qps, duration_s, seed=seed)
         report = run_cluster(config, service, requests)
         if report.meets_slo(p99_slo_s):
             return qps, report.p99_latency_s
-        fraction -= qps_step_fraction
     return 0.0, float("inf")
+
+
+_max_qps_at_slo = max_qps_at_slo  # pre-rename alias
+
+
+def _guided_max_qps_at_slo(
+    service: ServiceModel,
+    replicas: int,
+    p99_slo_s: float,
+    duration_s: float,
+    seed: int,
+    predicted_fraction: float,
+    qps_step_fraction: float = 0.05,
+) -> Tuple[float, float, int, int]:
+    """Surrogate-guided :func:`max_qps_at_slo` over the same probe
+    ladder.
+
+    The surrogate's prediction (a fraction of the fluid ceiling) picks
+    the starting rung;
+    :func:`repro.surrogate.verify.verified_min_feasible` walks the
+    ladder with exact seeded runs until the feasibility boundary holds
+    a two-sided certificate.  When SLO feasibility is monotone in
+    offered load — the assumption the step-down scan already encodes —
+    the answer matches :func:`max_qps_at_slo` bit for bit; only the
+    probe count changes.  (Each rung draws its own arrival stream, so
+    a seeded boundary blip *can* make feasibility locally non-monotone;
+    there the scan takes the highest feasible rung and this search
+    returns a certified boundary, which may be one blip lower.  Both
+    answers are exact-evaluated either way.)  Returns
+    ``(max_qps, p99, exact_runs, scan_runs)`` where ``scan_runs`` is
+    what the step-down scan would have spent.
+    """
+    from repro.surrogate.verify import verified_min_feasible
+
+    fractions = _step_fractions(qps_step_fraction)
+    ceiling = replicas * service.capacity_per_replica()
+    config = ClusterConfig(replicas=replicas, num_hosts=replicas, seed=seed)
+    probed: Dict[int, Tuple[float, float, bool]] = {}
+
+    def _feasible(index: int) -> bool:
+        qps = ceiling * fractions[index]
+        requests = poisson_stream(qps, duration_s, seed=seed)
+        report = run_cluster(config, service, requests)
+        ok = report.meets_slo(p99_slo_s)
+        probed[index] = (qps, report.p99_latency_s, ok)
+        return ok
+
+    # Index 0 is the highest rung; feasibility is monotone non-
+    # decreasing in index (less load → easier SLO).
+    guess = int(
+        np.argmin(np.abs(np.asarray(fractions) - predicted_fraction))
+    )
+    answer, exact_runs = verified_min_feasible(
+        guess, 0, len(fractions) - 1, _feasible
+    )
+    if answer is None:
+        return 0.0, float("inf"), exact_runs, len(fractions)
+    qps, p99, _ = probed[answer]
+    return qps, p99, exact_runs, answer + 1
 
 
 def power_limited_capacity_sweep(
@@ -214,6 +286,8 @@ def power_limited_capacity_sweep(
     duration_s: float = 20.0,
     seed: int = 0,
     registry: Optional[MetricsRegistry] = None,
+    use_surrogate: bool = False,
+    surrogate=None,
 ) -> PowerLimitedSweep:
     """Sweep rack budget → sustainable QPS at the P99 SLO.
 
@@ -224,20 +298,48 @@ def power_limited_capacity_sweep(
     evaluated under one seed so the sweep is deterministic and monotone:
     more watts → same-or-higher frequency → stochastically faster
     service on the identical arrival stream.
+
+    ``use_surrogate=True`` (with a fitted power
+    :class:`~repro.surrogate.model.SurrogateModel`, see
+    :func:`repro.surrogate.dataset.train_power_surrogate`) replaces the
+    per-budget step-down scan with the verified guided search
+    (:func:`_guided_max_qps_at_slo`): identical sweep points whenever
+    feasibility is monotone in load (see that function's caveat), with
+    fewer cluster simulations, tallied under ``surrogate.power.*``.
     """
     if replicas <= 0:
         raise ValueError("need at least one replica")
+    if use_surrogate and surrogate is None:
+        raise ValueError("use_surrogate=True needs a fitted surrogate")
     chip = chip or mtia2i_spec()
     obs = active(registry)
+    if use_surrogate:
+        from repro.surrogate.features import power_feature_row
     points = []
     for budget in sorted(server_budgets_w):
         per_chip = max(0.0, (budget - platform_power_w) / replicas)
         scaled, frequency = service_model_at_budget(
             service, per_chip, chip=chip, ladder_hz=ladder_hz
         )
-        max_qps, p99 = _max_qps_at_slo(
-            scaled, replicas, p99_slo_s, duration_s, seed
-        )
+        if use_surrogate:
+            row = power_feature_row(
+                scaled.mean_service_s, replicas, p99_slo_s, duration_s,
+                scaled.jitter_sigma,
+            )
+            predicted = float(surrogate.predict(row[None, :])[0])
+            max_qps, p99, exact_runs, scan_runs = _guided_max_qps_at_slo(
+                scaled, replicas, p99_slo_s, duration_s, seed, predicted
+            )
+            if obs.enabled:
+                obs.counter("surrogate.power.predictions").inc()
+                obs.counter("surrogate.power.exact_runs").inc(exact_runs)
+                obs.counter("surrogate.power.linear_scan_runs").inc(
+                    scan_runs
+                )
+        else:
+            max_qps, p99 = max_qps_at_slo(
+                scaled, replicas, p99_slo_s, duration_s, seed
+            )
         points.append(
             PowerLimitedPoint(
                 server_budget_w=float(budget),
@@ -262,6 +364,7 @@ __all__ = [
     "PowerLimitedSweep",
     "ThrottleSchedule",
     "frequency_for_chip_budget",
+    "max_qps_at_slo",
     "power_limited_capacity_sweep",
     "service_model_at_budget",
 ]
