@@ -1,0 +1,86 @@
+"""Automated model-chip co-design search (section 6 forward look).
+
+The "MTIA 3" proposal generator: seeded annealing chains explore the
+chip design grid at surrogate fidelity, successive-halving rungs
+promote the Pareto-best survivors through exact device and serving
+evaluation, and the reported front carries only exact-evaluated points
+plus the MTIA 1 / MTIA 2i anchors.  The benchmark pins the claims the
+subsystem rests on:
+
+* every point on the returned front is exact-evaluated (the verified
+  pattern at subsystem scale);
+* the sanity anchor holds — MTIA 2i dominates MTIA 1 on all three
+  objectives, recovering the generational step the paper reports;
+* a seeded rerun reproduces the result bit for bit;
+* the surrogate rung pays: candidates scored per exact evaluation
+  spent stays well above 1.
+"""
+
+from conftest import once
+
+from repro.codesign import (
+    SearchConfig,
+    front_table,
+    proposal_summary,
+    result_scalars,
+    run_codesign_search,
+    smoke_space,
+)
+from repro.models import figure6_models
+from repro.obs.metrics import MetricsRegistry
+
+SEED = 0
+MODELS = ("LC1", "LC3", "HC1")
+CONFIG = SearchConfig(
+    seed=SEED, iterations=40, device_rung_keep=10, serving_rung_keep=5,
+    train_chips=10,
+)
+DURATION_S = 4.0
+
+
+def _search(registry=None):
+    models = [m for m in figure6_models() if m.name in MODELS]
+    return run_codesign_search(
+        smoke_space(), models, CONFIG, duration_s=DURATION_S,
+        registry=registry,
+    )
+
+
+def _run():
+    registry = MetricsRegistry()
+    result = _search(registry)
+    rerun = _search()
+    return result, rerun, registry
+
+
+def test_sec6_codesign(benchmark, record, record_json):
+    result, rerun, registry = once(benchmark, _run)
+
+    # The verified pattern: nothing on the front is a prediction.
+    assert result.front
+    assert result.all_front_exact
+    assert all(e.fidelity == "serving" for e in result.front)
+    # Sanity anchor: the real generational step is recovered.
+    assert result.mtia2_dominates_mtia1
+    # Bit-for-bit seeded determinism, the whole result object.
+    assert rerun == result
+    # The surrogate rung buys a real reduction in exact evaluations.
+    assert result.eval_reduction >= 2.0
+    assert result.candidates_scored <= result.space_size
+    # The proposal exists and beats the MTIA 2i anchor on perf.
+    assert result.proposal is not None
+    assert result.proposal.perf > result.anchors[1].perf
+    counters = registry.snapshot()["counters"]
+    assert counters["codesign.evals.serving"] == len(
+        result.serving_evals
+    ) + len(result.anchors)
+
+    text = "\n".join([
+        front_table(result),
+        "",
+        proposal_summary(result),
+        "",
+        f"seeded rerun bit-for-bit identical: {rerun == result}",
+    ])
+    record("sec6_codesign", text)
+    record_json("sec6_codesign", result_scalars(result))

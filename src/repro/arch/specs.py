@@ -180,6 +180,21 @@ class ChipSpec:
             raise ValueError("ECC penalty must be a fraction in [0, 1)")
         if self.tdp_watts <= 0 or self.typical_watts <= 0:
             raise ValueError("power figures must be positive")
+        # Derivation invariants: ``repro.codesign.space.derive_chip``
+        # builds candidate chips through this constructor, so degenerate
+        # axis values must fail here rather than produce NaN rooflines.
+        if self.noc_bandwidth_bytes_per_s <= 0:
+            raise ValueError("NoC bandwidth must be positive")
+        if self.die_area_mm2 < 0:
+            raise ValueError("die area cannot be negative")
+        if self.sram_partition_bytes <= 0:
+            raise ValueError("SRAM partition granularity must be positive")
+        if not (0 <= self.idle_power_fraction <= 1):
+            raise ValueError("idle power fraction must be in [0, 1]")
+        if not (0 < self.sustained_gemm_fraction <= 1):
+            raise ValueError("sustained GEMM fraction must be in (0, 1]")
+        if not (0 <= self.overlap_factor <= 1):
+            raise ValueError("overlap factor must be in [0, 1]")
 
     @property
     def overclock_ratio(self) -> float:

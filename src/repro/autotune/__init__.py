@@ -32,6 +32,7 @@ from repro.autotune.sharding import (
     ShardPlan,
     plan_sharding,
     required_shards,
+    shard_throughput_tax,
 )
 from repro.autotune.tuner import AutotuneResult, autotune_model
 
@@ -56,6 +57,7 @@ __all__ = [
     "measure_variant",
     "plan_sharding",
     "required_shards",
+    "shard_throughput_tax",
     "surrogate_tune",
     "tune_batch_size",
     "tune_coalescing",

@@ -93,3 +93,19 @@ def plan_sharding(graph: OpGraph, chip: ChipSpec, num_shards: int = 0) -> ShardP
             "increase num_shards"
         )
     return plan
+
+
+def shard_throughput_tax(num_shards: int, floor: float = 0.5) -> float:
+    """Throughput multiplier for serving a model sharded across devices.
+
+    Sharding distributes capacity, not serving: every shard still
+    executes merge/remote jobs, but pooled embeddings cross the PCIe
+    switch, costing ~4% of throughput per extra shard (floored — even a
+    maximally sharded model keeps half its throughput).  This is the
+    same tax :func:`repro.tco.model.compare_platforms` applies; the
+    codesign DSE uses it for candidate chips whose DRAM forces different
+    shard counts than the base design.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    return max(floor, 1.0 - 0.04 * (num_shards - 1))

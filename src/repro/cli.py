@@ -26,6 +26,10 @@ Commands:
 * ``surrogate``  — train the learned performance surrogates and run the
   exact-verified searches they guide: verified kernel tuning, guided
   capacity planning, and the guided power-limited sweep
+* ``codesign``   — run the automated model-chip co-design search: seeded
+  annealing over the chip design space, surrogate-guided halving rungs,
+  and the exact-evaluated Perf / Perf-per-TCO / Perf-per-Watt Pareto
+  front with the "MTIA 3" proposal and the MTIA 1 → 2 sanity anchor
 * ``bench``      — run the benchmarks, aggregate ``BENCH_results.json``,
   and fail on regressions against the previous snapshot or the pinned
   golden values
@@ -64,6 +68,7 @@ _SMOKE_BENCHMARKS = (
     "test_sec5_chaos.py",
     "test_sec5_fleet.py",
     "test_sec41_surrogate.py",
+    "test_sec6_codesign.py",
 )
 
 
@@ -585,6 +590,63 @@ def cmd_surrogate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_codesign(args: argparse.Namespace) -> int:
+    from repro.codesign import (
+        SearchConfig,
+        default_space,
+        front_table,
+        proposal_summary,
+        run_codesign_search,
+        smoke_space,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.smoke:
+        space = smoke_space()
+        models = [m for m in figure6_models()
+                  if m.name in ("LC1", "LC3", "HC1")]
+        config = SearchConfig(
+            seed=args.seed, iterations=40, device_rung_keep=10,
+            serving_rung_keep=5, train_chips=10,
+        )
+        duration = 4.0
+    else:
+        space = default_space()
+        models = None  # the full Table 1 / Figure 6 zoo
+        config = SearchConfig(seed=args.seed)
+        duration = 6.0
+
+    registry = MetricsRegistry()
+    print(f"co-design search: {space.size()} grid points, "
+          f"{len(config.chain_weights)} annealing chains x "
+          f"{config.iterations} iterations, seed {config.seed}")
+    result = run_codesign_search(
+        space, models, config, duration_s=duration, registry=registry,
+    )
+    report = result.train_report
+    counters = registry.snapshot()["counters"]
+    print(f"executor surrogate: holdout MAPE {report.mape_holdout:.1%} "
+          f"({report.n_train} train / {report.n_holdout} holdout rows)")
+    print(f"evaluations: "
+          f"{counters.get('codesign.evals.surrogate', 0)} surrogate, "
+          f"{counters.get('codesign.evals.device', 0)} device, "
+          f"{counters.get('codesign.evals.serving', 0)} serving")
+    print()
+    print(front_table(result))
+    print()
+    print(proposal_summary(result))
+    if args.smoke:
+        rerun = run_codesign_search(
+            space, models, config, duration_s=duration,
+        )
+        identical = rerun == result
+        print(f"\nseeded rerun bit-for-bit identical: {identical}")
+        if not (identical and result.all_front_exact
+                and result.mtia2_dominates_mtia1):
+            return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import pathlib
@@ -830,6 +892,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exact re-measurements per verified tune")
     surrogate.add_argument("--seed", type=int, default=0)
     surrogate.set_defaults(func=cmd_surrogate)
+
+    codesign = sub.add_parser(
+        "codesign",
+        help="run the model-chip co-design search and emit the "
+             "Perf/TCO/Perf-per-Watt Pareto front",
+    )
+    codesign.add_argument("--smoke", action="store_true",
+                          help="small fixed-size search for CI (includes "
+                               "a seeded-rerun determinism probe)")
+    codesign.add_argument("--seed", type=int, default=0)
+    codesign.set_defaults(func=cmd_codesign)
 
     bench = sub.add_parser(
         "bench",

@@ -18,6 +18,7 @@ from repro.cluster.capacity import (
     autoscaled_day,
     capacity_sweep,
     locality_comparison,
+    max_qps_at_slo,
     policy_comparison,
     replicas_needed,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "healthy_candidates",
     "locality_comparison",
     "make_policy",
+    "max_qps_at_slo",
     "policy_comparison",
     "replicas_needed",
     "run_cluster",

@@ -102,6 +102,49 @@ def _stream(qps: float, duration_s: float, seed: int) -> Sequence[Request]:
     )
 
 
+def _step_fractions(qps_step_fraction: float) -> Tuple[float, ...]:
+    """The exact probe ladder ``max_qps_at_slo`` walks, highest first.
+
+    Built by the same repeated subtraction the scan performs, so the
+    float values (and therefore every derived QPS) are bit-identical
+    between the scan and the surrogate-guided search over this ladder.
+    """
+    fractions = []
+    fraction = 1.0
+    while fraction > qps_step_fraction / 2:
+        fractions.append(fraction)
+        fraction -= qps_step_fraction
+    return tuple(fractions)
+
+
+def max_qps_at_slo(
+    service: ServiceModel,
+    replicas: int,
+    p99_slo_s: float,
+    duration_s: float,
+    seed: int,
+    qps_step_fraction: float = 0.05,
+) -> Tuple[float, float]:
+    """Largest offered QPS the replica set serves within the SLO with no
+    shedding, by stepping down from the fluid capacity bound.
+
+    Returns ``(max_qps, p99_at_max)``; ``(0, inf)`` if even the lightest
+    probe misses.  (Historically lived in ``repro.power.cluster_link``,
+    which still re-exports it; it moved here because it is the serving
+    tier's Perf primitive — the power sweep and the codesign DSE both
+    score candidates with it.)
+    """
+    ceiling = replicas * service.capacity_per_replica()
+    config = ClusterConfig(replicas=replicas, num_hosts=replicas, seed=seed)
+    for fraction in _step_fractions(qps_step_fraction):
+        qps = ceiling * fraction
+        requests = poisson_stream(qps, duration_s, seed=seed)
+        report = run_cluster(config, service, requests)
+        if report.meets_slo(p99_slo_s):
+            return qps, report.p99_latency_s
+    return 0.0, float("inf")
+
+
 def replicas_needed(
     policy: str,
     offered_qps: float,

@@ -1,0 +1,80 @@
+"""Multi-objective Pareto machinery over candidate evaluations.
+
+All three objectives are maximized.  The front is a *set* property of
+the input — insertion order never changes membership (the property test
+pins this) — and the returned tuple is canonically sorted so seeded
+reruns emit byte-identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.codesign.objectives import CandidateEval
+
+
+def dominates(a: CandidateEval, b: CandidateEval) -> bool:
+    """True when ``a`` is at least as good on every objective and
+    strictly better on at least one."""
+    ao, bo = a.objectives(), b.objectives()
+    return all(x >= y for x, y in zip(ao, bo)) and any(
+        x > y for x, y in zip(ao, bo)
+    )
+
+
+def _canonical_key(candidate: CandidateEval):
+    perf, ppt, ppw = candidate.objectives()
+    return (-perf, -ppt, -ppw, candidate.label)
+
+
+def pareto_front(
+    candidates: Sequence[CandidateEval],
+) -> Tuple[CandidateEval, ...]:
+    """The non-dominated subset, canonically sorted.
+
+    Membership is decided against the whole input, so the result is
+    independent of insertion order.  Candidates with *identical*
+    objective vectors do not dominate each other — all of them stay
+    (ties are resolved by label in the sort, not discarded).
+    """
+    front = [
+        c
+        for c in candidates
+        if not any(dominates(other, c) for other in candidates)
+    ]
+    return tuple(sorted(front, key=_canonical_key))
+
+
+def front_ranks(
+    candidates: Sequence[CandidateEval],
+) -> List[Tuple[CandidateEval, ...]]:
+    """Successive non-dominated fronts (NSGA-style peeling): rank 0 is
+    the Pareto front, rank 1 the front of what remains, and so on.  The
+    halving rungs promote whole ranks until their budget fills."""
+    remaining = list(candidates)
+    ranks: List[Tuple[CandidateEval, ...]] = []
+    while remaining:
+        front = pareto_front(remaining)
+        ranks.append(front)
+        members = {id(c) for c in front}
+        remaining = [c for c in remaining if id(c) not in members]
+    return ranks
+
+
+def select_by_rank(
+    candidates: Sequence[CandidateEval], keep: int
+) -> Tuple[CandidateEval, ...]:
+    """The top ``keep`` candidates by Pareto rank, ties within the
+    cut-off rank broken by the canonical (balanced-objective) sort."""
+    if keep <= 0:
+        return ()
+    selected: List[CandidateEval] = []
+    for rank in front_ranks(candidates):
+        room = keep - len(selected)
+        if room <= 0:
+            break
+        selected.extend(sorted(rank, key=_canonical_key)[:room])
+    return tuple(selected)
+
+
+__all__ = ["dominates", "front_ranks", "pareto_front", "select_by_rank"]

@@ -74,6 +74,26 @@ GOLDEN_SCALARS: Dict[str, Dict[str, Tuple[float, float]]] = {
         "verified_argmin_match": (1.0, 1e-9),
         "eval_reduction": (72.0, 1e-9),
     },
+    "sec6_codesign": {
+        # The co-design DSE acceptance shapes: every front point exact,
+        # the MTIA 1 -> 2 generational step recovered as the sanity
+        # anchor, and the surrogate rung scoring ~5x more candidates
+        # than the exact rungs pay for.  Counts and booleans are pinned
+        # tight (the search is bit-for-bit seeded); the anchor and
+        # proposal objectives get a small band for float drift across
+        # BLAS builds.
+        "front_size": (5.0, 1e-9),
+        "all_front_exact": (1.0, 1e-9),
+        "mtia2_dominates_mtia1": (1.0, 1e-9),
+        "candidates_scored": (93.0, 1e-9),
+        "exact_evals": (17.0, 1e-9),
+        "eval_reduction": (5.470588235294118, 1e-9),
+        "anchor_mtia2_perf": (1052.6315789473688, 0.02),
+        "anchor_mtia2_perf_per_watt": (0.6078379457643992, 0.02),
+        "surrogate_mape_holdout": (0.07872610351135072, 0.5),
+        "proposal_perf": (1645.5865890004357, 0.05),
+        "proposal_gain_vs_mtia2": (1.5633072595504134, 0.05),
+    },
     "fig5_tbe_consolidation": {
         # Paper figure 5: consolidation buys ~13 ms of P99.
         "p99_improvement_s": (0.013298990385909093, 0.05),

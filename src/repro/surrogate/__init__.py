@@ -34,16 +34,22 @@ from repro.surrogate.dataset import (
     DatasetRecorder,
     SurrogateDataset,
     collect_executor_dataset,
+    collect_executor_graph_dataset,
     collect_gemm_dataset,
     train_capacity_surrogate,
+    train_executor_surrogate,
     train_gemm_surrogate,
     train_power_surrogate,
 )
 from repro.surrogate.features import (
+    EXECUTOR_FEATURE_NAMES,
     GEMM_FEATURE_NAMES,
     GemmFeatureSpace,
+    GraphSummary,
     capacity_feature_row,
+    executor_feature_row,
     power_feature_row,
+    summarize_graph,
 )
 from repro.surrogate.model import (
     BoostedStumps,
@@ -63,9 +69,11 @@ from repro.surrogate.verify import (
 __all__ = [
     "BoostedStumps",
     "DatasetRecorder",
+    "EXECUTOR_FEATURE_NAMES",
     "GEMM_FEATURE_NAMES",
     "GemmFeatureSpace",
     "GemmSurrogate",
+    "GraphSummary",
     "RidgeRegressor",
     "SurrogateDataset",
     "SurrogateModel",
@@ -74,9 +82,13 @@ __all__ = [
     "argmin_match",
     "capacity_feature_row",
     "collect_executor_dataset",
+    "collect_executor_graph_dataset",
     "collect_gemm_dataset",
+    "executor_feature_row",
     "power_feature_row",
+    "summarize_graph",
     "train_capacity_surrogate",
+    "train_executor_surrogate",
     "train_gemm_surrogate",
     "train_power_surrogate",
     "verified_argmin",

@@ -37,9 +37,12 @@ from repro.graph.ops import OpType
 from repro.kernels.gemm import GemmVariant, default_variants, estimate_gemm
 from repro.power.activity import chip_power_w
 from repro.surrogate.features import (
+    EXECUTOR_FEATURE_NAMES,
     GEMM_FEATURE_NAMES,
     GemmFeatureSpace,
+    GraphSummary,
     capacity_feature_row,
+    executor_feature_row,
     power_feature_row,
 )
 from repro.surrogate.model import GemmSurrogate, SurrogateModel, TrainReport
@@ -210,6 +213,64 @@ def collect_executor_dataset(
     )
 
 
+def collect_executor_graph_dataset(
+    chips: Sequence[ChipSpec],
+    models: Sequence[Tuple["GraphSummary", Callable[[int], OpGraph], int]],
+    dtype: DType = DType.FP16,
+) -> SurrogateDataset:
+    """Exact whole-graph executor latencies across a chip sample.
+
+    One row per (chip, model): features from
+    :func:`~repro.surrogate.features.executor_feature_row` on the
+    cached graph summary, target the full
+    :class:`~repro.perf.executor.Executor` run's ``latency_s``.
+    ``models`` pairs each summary with its graph builder and batch so
+    the graph walk happens once per model, not once per chip.
+
+    This is the whole-graph regression task ROADMAP item 3 left open —
+    the per-FC-op table from :func:`collect_executor_dataset` prices
+    single ops; this one prices the *latency a zoo model sees on a
+    candidate chip*, which is what the codesign DSE ranks candidates
+    by before exact-evaluating survivors.
+    """
+    from repro.perf.executor import Executor
+
+    X: List[np.ndarray] = []
+    times: List[float] = []
+    for chip in chips:
+        executor = Executor(chip)
+        for summary, build_graph, batch in models:
+            report = executor.run(build_graph(batch), batch)
+            X.append(executor_feature_row(chip, summary, dtype))
+            times.append(report.latency_s)
+    return SurrogateDataset(
+        X=np.vstack(X).astype(np.float32),
+        latency_s=np.asarray(times, dtype=np.float64),
+        energy_j=None,
+        feature_names=EXECUTOR_FEATURE_NAMES,
+    )
+
+
+def train_executor_surrogate(
+    chips: Sequence[ChipSpec],
+    models: Sequence[Tuple["GraphSummary", Callable[[int], OpGraph], int]],
+    dtype: DType = DType.FP16,
+    seed: int = 0,
+    holdout_fraction: float = 0.15,
+    n_rounds: int = 16,
+) -> Tuple[SurrogateModel, TrainReport]:
+    """Collect whole-graph traces over a chip sample and fit the
+    executor-latency surrogate (log-space target, seeded, bit-for-bit
+    reproducible like every other surrogate here)."""
+    dataset = collect_executor_graph_dataset(chips, models, dtype=dtype)
+    model = SurrogateModel(n_rounds=n_rounds)
+    report = model.fit(
+        dataset.X, dataset.latency_s, seed=seed,
+        holdout_fraction=holdout_fraction, target="executor_latency",
+    )
+    return model, report
+
+
 def train_gemm_surrogate(
     chip: ChipSpec,
     n_samples: int = 6000,
@@ -335,9 +396,11 @@ __all__ = [
     "DatasetRecorder",
     "SurrogateDataset",
     "collect_executor_dataset",
+    "collect_executor_graph_dataset",
     "collect_gemm_dataset",
     "sample_gemm_points",
     "train_capacity_surrogate",
+    "train_executor_surrogate",
     "train_gemm_surrogate",
     "train_power_surrogate",
 ]

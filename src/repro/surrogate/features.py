@@ -349,24 +349,159 @@ def power_feature_row(
     )
 
 
+# -- executor (whole-graph) feature rows -------------------------------
+
+EXECUTOR_FEATURE_NAMES: Tuple[str, ...] = (
+    # graph-shape terms (chip-independent)
+    "log2_num_ops", "log2_num_fc", "log2_batch",
+    "log2_fc_flops", "log2_other_flops",
+    "log2_dense_bytes", "log2_embedding_bytes", "log2_io_bytes",
+    # chip-adjusted roofline bases (log2 seconds)
+    "log2_fc_compute_s", "log2_fc_issue_s", "log2_fc_lm_s",
+    "log2_max_fc_op_s",
+    "log2_dense_dram_s", "log2_io_sram_s", "log2_io_noc_s",
+    "log2_other_vector_s",
+    # chip axes and capacity pressure
+    "log2_num_pes", "log2_gemm_to_simd",
+    "log2_dense_over_sram", "weights_fit_sram",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphSummary:
+    """Chip-independent footprint of one model graph at one batch.
+
+    The codesign DSE scores each (candidate chip, zoo model) pair; the
+    graph walk is the expensive chip-*independent* half, so it is
+    summarized once per model and reused across every candidate.
+    """
+
+    name: str
+    batch: int
+    num_ops: int
+    num_fc: int
+    fc_mkn: Tuple[Tuple[int, int, int], ...]
+    fc_flops: float
+    other_flops: float
+    dense_bytes: float  # non-embedding weight bytes
+    embedding_bytes: float
+    io_bytes: float  # sum of per-op input+output bytes
+
+
+def summarize_graph(graph, batch: int) -> GraphSummary:
+    """Walk an :class:`~repro.graph.graph.OpGraph` once into the
+    chip-independent features the executor surrogate needs."""
+    fc_mkn = []
+    fc_flops = 0.0
+    total_flops = 0.0
+    io_bytes = 0.0
+    for op in graph.ops:
+        total_flops += op.flops()
+        io_bytes += op.input_bytes() + op.output_bytes()
+        gemm = op.attr("gemm")
+        if gemm is not None:
+            fc_mkn.append((gemm.m, gemm.k, gemm.n))
+            fc_flops += 2.0 * gemm.m * gemm.k * gemm.n
+    embedding = float(graph.embedding_bytes())
+    return GraphSummary(
+        name=graph.name,
+        batch=batch,
+        num_ops=len(graph.ops),
+        num_fc=len(fc_mkn),
+        fc_mkn=tuple(fc_mkn),
+        fc_flops=fc_flops,
+        other_flops=max(0.0, total_flops - fc_flops),
+        dense_bytes=float(graph.weight_bytes()) - embedding,
+        embedding_bytes=embedding,
+        io_bytes=io_bytes,
+    )
+
+
+def _safe_log2(value: float) -> float:
+    return math.log2(max(float(value), 1e-30))
+
+
+def executor_feature_row(
+    chip: ChipSpec, summary: GraphSummary, dtype: DType = DType.FP16
+) -> np.ndarray:
+    """Features for a whole-graph latency query (one row, float64).
+
+    Like the GEMM features, these are unadjusted roofline sketches — the
+    sum of per-FC compute/issue/local-memory base times from
+    :class:`GemmFeatureSpace`, graph-level DRAM/SRAM/NoC streaming
+    bases, and the chip axes the codesign space sweeps.  Pipeline
+    overlap, scheduling and TBE behaviour are left for the regressor to
+    learn from exact :class:`~repro.perf.executor.Executor` traces.
+    """
+    space = GemmFeatureSpace(chip, dtype)
+    if summary.fc_mkn:
+        mkn = np.asarray(summary.fc_mkn, dtype=np.float64)
+        sb = space.shape_block(mkn[:, 0], mkn[:, 1], mkn[:, 2])
+        compute = np.exp2(sb.block[:, 7].astype(np.float64))
+        issue = np.exp2(sb.block[:, 8].astype(np.float64))
+        lm_bytes = (
+            sb.act_bytes.astype(np.float64)
+            + sb.weight_bytes.astype(np.float64)
+            + sb.out_bytes.astype(np.float64)
+        )
+        fc_compute_s = float(compute.sum())
+        fc_issue_s = float(issue.sum())
+        fc_lm_s = float(lm_bytes.sum()) / space.lm_rate
+        max_fc_s = float(np.maximum(compute, issue).max())
+    else:
+        fc_compute_s = fc_issue_s = fc_lm_s = max_fc_s = 0.0
+    dram_bw = chip.dram.bandwidth_bytes_per_s
+    sram = chip.sram
+    return np.array(
+        [
+            _safe_log2(summary.num_ops),
+            _safe_log2(summary.num_fc),
+            _safe_log2(summary.batch),
+            _safe_log2(summary.fc_flops),
+            _safe_log2(summary.other_flops),
+            _safe_log2(summary.dense_bytes),
+            _safe_log2(summary.embedding_bytes),
+            _safe_log2(summary.io_bytes),
+            _safe_log2(fc_compute_s),
+            _safe_log2(fc_issue_s),
+            _safe_log2(fc_lm_s),
+            _safe_log2(max_fc_s),
+            _safe_log2(summary.dense_bytes / dram_bw),
+            _safe_log2(summary.io_bytes / sram.bandwidth_bytes_per_s),
+            _safe_log2(summary.io_bytes / chip.noc_bandwidth_bytes_per_s),
+            _safe_log2(summary.other_flops / chip.vector.peak(DType.FP32)),
+            _safe_log2(chip.num_pes),
+            _safe_log2(chip.gemm_to_simd_ratio()),
+            _safe_log2(summary.dense_bytes / sram.capacity_bytes),
+            1.0 if summary.dense_bytes <= sram.capacity_bytes else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
 _FEATURE_EXPORTS: Dict[str, Tuple[str, ...]] = {
     "gemm": GEMM_FEATURE_NAMES,
     "capacity": CAPACITY_FEATURE_NAMES,
     "power": POWER_FEATURE_NAMES,
+    "executor": EXECUTOR_FEATURE_NAMES,
 }
 
 
 __all__ = [
     "CAPACITY_FEATURE_NAMES",
     "CAPACITY_POLICY_ORDER",
+    "EXECUTOR_FEATURE_NAMES",
     "GEMM_CROSS_SLICE",
     "GEMM_FEATURE_NAMES",
     "GEMM_SHAPE_SLICE",
     "GEMM_VARIANT_SLICE",
     "GemmFeatureSpace",
+    "GraphSummary",
     "POWER_FEATURE_NAMES",
     "ShapeBlock",
     "VariantBlock",
     "capacity_feature_row",
+    "executor_feature_row",
     "power_feature_row",
+    "summarize_graph",
 ]

@@ -7,6 +7,7 @@ from repro.tco.model import (
     PlatformComparison,
     TcoBreakdown,
     compare_platforms,
+    derived_cost_inputs,
     measured_server_power_watts,
     perf_per_tco,
     perf_per_watt,
@@ -20,6 +21,7 @@ __all__ = [
     "PlatformComparison",
     "TcoBreakdown",
     "compare_platforms",
+    "derived_cost_inputs",
     "measured_server_power_watts",
     "perf_per_tco",
     "perf_per_watt",

@@ -46,6 +46,60 @@ class CostInputs:
 MTIA2I_COST = CostInputs(accelerator_cost_usd=2200.0, platform_cost_usd=40_000.0)
 GPU_COST = CostInputs(accelerator_cost_usd=24_000.0, platform_cost_usd=50_000.0)
 
+# Cost-structure constants for chips *derived* from the MTIA 2i spec
+# (``repro.codesign``).  The module cost splits into silicon (scales
+# super-linearly with die area: candidate dice per wafer fall linearly
+# while defect-limited yield falls on top — area^1.25 captures both to
+# first order), memory (LPDDR at commodity $/GiB), and a fixed share
+# (substrate, passives, test, assembly) that does not scale with the
+# design.  ``derived_cost_inputs`` calibrates the silicon term so the
+# reference chip reproduces ``MTIA2I_COST`` exactly.
+DERIVED_COST_FIXED_USD = 300.0
+DERIVED_COST_LPDDR_USD_PER_GIB = 3.5
+DERIVED_COST_AREA_EXPONENT = 1.25
+
+
+def derived_cost_inputs(
+    chip,
+    reference=None,
+    reference_costs: CostInputs = MTIA2I_COST,
+) -> CostInputs:
+    """Cost inputs for a chip derived from a reference design.
+
+    The TCO of a codesign candidate must not silently reuse the base
+    chip's build cost: a 144-PE, 512 MiB-SRAM candidate is a much
+    bigger die and more LPDDR stacks than MTIA 2i.  This scales the
+    accelerator cost from ``chip.die_area_mm2`` and
+    ``chip.dram.capacity_bytes``; the platform (host CPUs, NIC,
+    chassis) is shared across candidates and carries over unchanged.
+
+    Calling this with the reference chip itself returns
+    ``reference_costs`` exactly (the silicon coefficient is calibrated
+    against it), so existing MTIA 2i results are unaffected.
+    """
+    if reference is None:
+        from repro.arch.mtia import mtia2i_spec
+
+        reference = mtia2i_spec()
+    gib = 1024.0**3
+    ref_memory = DERIVED_COST_LPDDR_USD_PER_GIB * (
+        reference.dram.capacity_bytes / gib
+    )
+    ref_silicon = (
+        reference_costs.accelerator_cost_usd
+        - DERIVED_COST_FIXED_USD
+        - ref_memory
+    )
+    if ref_silicon <= 0:
+        raise ValueError("reference cost does not cover fixed + memory terms")
+    area_ratio = chip.die_area_mm2 / reference.die_area_mm2
+    silicon = ref_silicon * area_ratio**DERIVED_COST_AREA_EXPONENT
+    memory = DERIVED_COST_LPDDR_USD_PER_GIB * (chip.dram.capacity_bytes / gib)
+    return dataclasses.replace(
+        reference_costs,
+        accelerator_cost_usd=silicon + memory + DERIVED_COST_FIXED_USD,
+    )
+
 
 @dataclasses.dataclass(frozen=True)
 class TcoBreakdown:
@@ -182,15 +236,17 @@ def compare_platforms(
     does cost is cross-device transfers of pooled embeddings, modelled as
     a small per-extra-shard throughput tax.
     """
+    from repro.autotune.sharding import shard_throughput_tax
+
     mtia_srv = mtia_srv or mtia2i_server()
     gpu_srv = gpu_srv or gpu_server()
-    mtia_shard_tax = 1.0 - 0.04 * (mtia_accelerators_per_model - 1)
-    gpu_shard_tax = 1.0 - 0.04 * (gpu_accelerators_per_model - 1)
     mtia_server_tp = (
-        mtia_chip_throughput * mtia_srv.accelerators_per_server * max(0.5, mtia_shard_tax)
+        mtia_chip_throughput * mtia_srv.accelerators_per_server
+        * shard_throughput_tax(mtia_accelerators_per_model)
     )
     gpu_server_tp = (
-        gpu_chip_throughput * gpu_srv.accelerators_per_server * max(0.5, gpu_shard_tax)
+        gpu_chip_throughput * gpu_srv.accelerators_per_server
+        * shard_throughput_tax(gpu_accelerators_per_model)
     )
     mtia_power = (
         mtia_srv.platform_power_watts * 0.8

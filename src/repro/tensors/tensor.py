@@ -8,6 +8,7 @@ hierarchy.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
 from typing import Tuple
@@ -15,6 +16,42 @@ from typing import Tuple
 from repro.tensors.dtypes import DType
 
 _SPEC_IDS = itertools.count()
+
+# Base for scoped uid allocation — far above anything the global
+# counters reach organically, so scoped and unscoped uids never collide.
+_STABLE_UID_BASE = 1 << 40
+
+
+@contextlib.contextmanager
+def stable_uid_scope(base: int = _STABLE_UID_BASE):
+    """Allocate tensor *and* op uids from a fixed base inside the scope.
+
+    Tensor/op uids normally come from process-global counters, so a
+    graph built twice is not byte-identical: the second build's tensors
+    carry different uids, which land cache blocks in different LLC sets
+    (``hash((uid, index)) % num_sets``) and perturb simulated hit rates
+    at the 4th decimal.  Deterministic pipelines that *rebuild* graphs —
+    the codesign search re-evaluates zoo models once per candidate chip
+    and must be bit-for-bit reproducible under a fixed seed — wrap each
+    build in this scope so every rebuild allocates the same uids.
+
+    Graphs from different scope entries share uid ranges, so never mix
+    tensors from two scoped builds in one structure keyed by uid; each
+    scoped graph must be consumed in isolation (which is how the
+    executor and autotuners use graphs).  The global counters are
+    untouched — unscoped callers see no change.
+    """
+    global _SPEC_IDS
+    from repro.graph import ops as _ops
+
+    saved_specs, saved_ops = _SPEC_IDS, _ops._OP_IDS
+    _SPEC_IDS = itertools.count(base)
+    _ops._OP_IDS = itertools.count(base)
+    try:
+        yield
+    finally:
+        _SPEC_IDS = saved_specs
+        _ops._OP_IDS = saved_ops
 
 
 class TensorKind:
